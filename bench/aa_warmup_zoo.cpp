@@ -1,0 +1,108 @@
+//===- bench/aa_warmup_zoo.cpp - train/cache every model --------*- C++ -*-===//
+//
+// Step 0 of the benchmark harness (named so shell globs run it first):
+// trains every model the tables need and caches the weights under
+// models/. Idempotent — reruns load from the cache. Also prints the
+// network inventory with neuron counts and test accuracies, standing in
+// for the paper's Appendix B summary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/train/trainer.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  Timer Total;
+  ZooConfig ZC;
+  ZC.Verbose = true;
+  ModelZoo Zoo(ZC);
+
+  std::printf("GenProve model zoo warmup (models are cached under "
+              "models/)\n\n");
+
+  TablePrinter Table({"Model", "Neurons", "Metric"});
+  char Buf[64];
+
+  // Generative models.
+  for (DatasetId Data :
+       {DatasetId::Faces, DatasetId::Shoes, DatasetId::Digits}) {
+    Vae &Model = Zoo.vae(Data);
+    const int64_t Neurons = Model.decoder().countNeurons(
+        Shape({1, Model.latentDim()}));
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Neurons));
+    Table.addRow({std::string("VAE decoder (") + datasetDisplayName(Data) +
+                      ")",
+                  Buf, "-"});
+  }
+  {
+    Vae &Model = Zoo.smallDecoderVae();
+    const int64_t Neurons =
+        Model.decoder().countNeurons(Shape({1, Model.latentDim()}));
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Neurons));
+    Table.addRow({"DecoderSmall VAE (CelebA*)", Buf, "-"});
+  }
+
+  // Attribute detectors and classifiers.
+  for (const char *Arch : {"ConvSmall", "ConvMed", "ConvLarge"}) {
+    {
+      Sequential &Net = Zoo.facesDetector(Arch);
+      const Dataset &Set = Zoo.test(DatasetId::Faces);
+      const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+      const double Acc = attributeAccuracy(Net, Set);
+      char Metric[64];
+      std::snprintf(Metric, sizeof(Metric), "attr acc %.1f%%", Acc * 100.0);
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(Net.countNeurons(ImgShape)));
+      Table.addRow({std::string(Arch) + " detector (CelebA*)", Buf, Metric});
+    }
+    {
+      Sequential &Net = Zoo.shoesClassifier(Arch);
+      const Dataset &Set = Zoo.test(DatasetId::Shoes);
+      const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+      const double Acc = classifierAccuracy(Net, Set);
+      char Metric[64];
+      std::snprintf(Metric, sizeof(Metric), "acc %.1f%%", Acc * 100.0);
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(Net.countNeurons(ImgShape)));
+      Table.addRow({std::string(Arch) + " classifier (Zappos50k*)", Buf,
+                    Metric});
+    }
+  }
+
+  // The Table 6 trio.
+  for (TrainScheme Scheme :
+       {TrainScheme::Standard, TrainScheme::Fgsm, TrainScheme::DiffAiBox}) {
+    Sequential &Net = Zoo.digitsClassifier(Scheme);
+    const Dataset &Set = Zoo.test(DatasetId::Digits);
+    const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+    const double Acc = classifierAccuracy(Net, Set);
+    char Metric[64];
+    std::snprintf(Metric, sizeof(Metric), "acc %.1f%%", Acc * 100.0);
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(Net.countNeurons(ImgShape)));
+    const char *Name = Scheme == TrainScheme::Standard ? "standard"
+                       : Scheme == TrainScheme::Fgsm   ? "FGSM"
+                                                       : "DiffAI";
+    Table.addRow({std::string("ConvBiggest ") + Name + " (MNIST*)", Buf,
+                  Metric});
+  }
+
+  // Table 7 models.
+  Zoo.ganDiscriminator();
+  Table.addRow({"GAN discriminator (CelebA*)", "-", "-"});
+  Zoo.facesFactorVae();
+  Table.addRow({"FactorVAE (CelebA*)", "-", "-"});
+  Zoo.facesAcai();
+  Table.addRow({"ACAI (CelebA*)", "-", "-"});
+
+  Table.print();
+  std::printf("\nwarmup finished in %.1f s\n", Total.seconds());
+  return 0;
+}

@@ -1,0 +1,340 @@
+//===- bench/bench_common.cpp ---------------------------------*- C++ -*-===//
+
+#include "bench/bench_common.h"
+
+#include "src/domains/box_domain.h"
+#include "src/domains/hybrid_zonotope.h"
+#include "src/domains/zonotope.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace genprove {
+
+const char *methodName(Method M) {
+  switch (M) {
+  case Method::Box:
+    return "Box";
+  case Method::HybridZono:
+    return "HybridZono";
+  case Method::Zonotope:
+    return "Zonotope";
+  case Method::DeepZono:
+    return "DeepZono";
+  case Method::Baseline:
+    return "BASELINE";
+  case Method::GenProveDet:
+    return "GenProveDet";
+  case Method::GenProveExact:
+    return "GenProve0";
+  case Method::GenProveRelax:
+    return "GenProveRelax";
+  case Method::Sampling:
+    return "Sampling";
+  default:
+    return "?";
+  }
+}
+
+double toScaledGb(size_t Bytes, size_t BudgetBytes) {
+  if (BudgetBytes == 0)
+    return static_cast<double>(Bytes) / (1024.0 * 1024.0 * 1024.0);
+  return 24.0 * static_cast<double>(Bytes) / static_cast<double>(BudgetBytes);
+}
+
+BenchEnv::BenchEnv(BenchConfig InitConfig) : Config(std::move(InitConfig)) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Config.ResultsDir, Ec);
+  loadCache();
+}
+
+BenchEnv::~BenchEnv() { saveCache(); }
+
+std::string BenchEnv::cacheKey(DatasetId Data, const std::string &Network,
+                               Method Which) const {
+  std::ostringstream Key;
+  Key << datasetDisplayName(Data) << "|" << Network << "|"
+      << methodName(Which);
+  return Key.str();
+}
+
+Sequential &BenchEnv::targetNetwork(DatasetId Data,
+                                    const std::string &Network) {
+  return Data == DatasetId::Faces ? Zoo.facesDetector(Network)
+                                  : Zoo.shoesClassifier(Network);
+}
+
+const GridCell &BenchEnv::cell(DatasetId Data, const std::string &Network,
+                               Method Which) {
+  const std::string Key = cacheKey(Data, Network, Which);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  std::fprintf(stderr, "[bench] computing cell %s ...\n", Key.c_str());
+  GridCell Cell = computeCell(Data, Network, Which);
+  Dirty = true;
+  auto [Pos, Inserted] = Cache.emplace(Key, std::move(Cell));
+  saveCache();
+  (void)Inserted;
+  return Pos->second;
+}
+
+GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
+                               Method Which) {
+  const Dataset &Set = Zoo.train(Data);
+  Vae &Model = Zoo.vae(Data);
+  Sequential &Target = targetNetwork(Data, Network);
+  const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+  const Shape LatentShape({1, Model.latentDim()});
+  const std::vector<const Layer *> Pipeline =
+      concatViews(Model.decoder().view(), Target.view());
+  const int64_t NumOutputs = Target.outputShape(ImgShape).dim(1);
+
+  GridCell Cell;
+  Cell.DatasetName = datasetDisplayName(Data);
+  Cell.NetworkName = Network;
+  Cell.Which = Which;
+  Cell.Neurons = Target.countNeurons(ImgShape);
+
+  const bool IsConvex = Which == Method::Box || Which == Method::HybridZono ||
+                        Which == Method::Zonotope ||
+                        Which == Method::DeepZono;
+  const int64_t NumPairs =
+      IsConvex ? Config.ZonoPairsPerCell : Config.PairsPerCell;
+  Cell.NumPairs = NumPairs;
+
+  // The paper evaluates every architecture on the same |P| pairs; seed by
+  // dataset only so ConvSmall/Med/Large see identical segments.
+  Rng PairRng(0xabcdef01u + static_cast<uint64_t>(Data) * 7);
+  const std::vector<SpecPair> Pairs =
+      Data == DatasetId::Faces
+          ? sameAttributePairs(Set, NumPairs, PairRng)
+          : sameClassPairs(Set, NumPairs, PairRng);
+
+  // GenProve configuration shared by the GenProve-family methods.
+  GenProveConfig GpConfig;
+  GpConfig.ClusterK = Config.ClusterK;
+  GpConfig.NodeThreshold = Config.NodeThreshold;
+  GpConfig.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+  switch (Which) {
+  case Method::Baseline:
+    GpConfig.Mode = AnalysisMode::Deterministic;
+    GpConfig.RelaxPercent = 0.0;
+    break;
+  case Method::GenProveDet:
+    GpConfig.Mode = AnalysisMode::Deterministic;
+    GpConfig.RelaxPercent = Config.RelaxPercent;
+    GpConfig.Schedule = RefinementSchedule::A;
+    break;
+  case Method::GenProveExact:
+    GpConfig.RelaxPercent = 0.0;
+    break;
+  case Method::GenProveRelax:
+    GpConfig.RelaxPercent = Config.RelaxPercent;
+    GpConfig.Schedule = RefinementSchedule::A;
+    break;
+  default:
+    break;
+  }
+  const GenProve Analyzer(GpConfig);
+
+  double SumWidth = 0.0, SumLower = 0.0, SumUpper = 0.0, SumSeconds = 0.0;
+  int64_t NumBounds = 0, NumNonTrivial = 0, NumOom = 0;
+  size_t PeakBytes = 0;
+  Rng SampleRng(0x5eed5eedu);
+
+  for (const SpecPair &Pair : Pairs) {
+    const Tensor E1 = Model.encode(Set.image(Pair.First));
+    const Tensor E2 = Model.encode(Set.image(Pair.Second));
+
+    // The per-pair specs: class argmax, or one sign spec per attribute.
+    std::vector<OutputSpec> Specs;
+    if (Data == DatasetId::Faces) {
+      for (int64_t J = 0; J < NumOutputs; ++J)
+        Specs.push_back(OutputSpec::attributeSign(
+            J, Set.Attributes.at(Pair.First, J) > 0.5, NumOutputs));
+    } else {
+      Specs.push_back(OutputSpec::argmaxWins(
+          Set.Labels[static_cast<size_t>(Pair.First)], NumOutputs));
+    }
+
+    Timer PairTimer;
+    std::vector<ProbBounds> AllBounds;
+    bool PairOom = false;
+
+    if (IsConvex) {
+      DeviceMemoryModel Memory(Config.MemoryBudgetBytes);
+      std::vector<ConvexResult> Results;
+      switch (Which) {
+      case Method::Box:
+        Results =
+            analyzeBoxMulti(Pipeline, LatentShape, E1, E2, Specs, Memory);
+        break;
+      case Method::HybridZono:
+        Results = analyzeHybridZonotopeMulti(Pipeline, LatentShape, E1, E2,
+                                             Specs, Memory);
+        break;
+      case Method::Zonotope:
+        Results = analyzeZonotopeMulti(Pipeline, LatentShape, E1, E2, Specs,
+                                       ZonotopeKind::Zonotope, Memory);
+        break;
+      default:
+        Results = analyzeZonotopeMulti(Pipeline, LatentShape, E1, E2, Specs,
+                                       ZonotopeKind::DeepZono, Memory);
+        break;
+      }
+      for (const ConvexResult &Result : Results) {
+        AllBounds.push_back(Result.Bounds);
+        PairOom |= Result.Bounds.OutOfMemory;
+        PeakBytes = std::max(PeakBytes, Result.PeakBytes);
+      }
+    } else if (Which == Method::Sampling) {
+      // Sample once per pair and score every spec on the shared outputs.
+      const int64_t Latent = Model.latentDim();
+      std::vector<int64_t> Satisfied(Specs.size(), 0);
+      int64_t Done = 0;
+      while (Done < Config.SamplesPerPair) {
+        const int64_t B =
+            std::min<int64_t>(256, Config.SamplesPerPair - Done);
+        Tensor Points({B, Latent});
+        for (int64_t I = 0; I < B; ++I) {
+          const double T = SampleRng.uniform();
+          for (int64_t J = 0; J < Latent; ++J)
+            Points.at(I, J) = E1[J] + T * (E2[J] - E1[J]);
+        }
+        const Tensor Out =
+            forwardConcretePoints(Pipeline, LatentShape, Points);
+        for (int64_t I = 0; I < B; ++I) {
+          Tensor Row({1, Out.dim(1)});
+          std::copy(Out.data() + I * Out.dim(1),
+                    Out.data() + (I + 1) * Out.dim(1), Row.data());
+          for (size_t SpecIdx = 0; SpecIdx < Specs.size(); ++SpecIdx)
+            if (Specs[SpecIdx].satisfied(Row))
+              ++Satisfied[SpecIdx];
+        }
+        Done += B;
+      }
+      for (size_t SpecIdx = 0; SpecIdx < Specs.size(); ++SpecIdx) {
+        const auto [Lo, Hi] = clopperPearson(
+            static_cast<size_t>(Satisfied[SpecIdx]),
+            static_cast<size_t>(Config.SamplesPerPair), Config.SamplingAlpha);
+        AllBounds.push_back({Lo, Hi, false});
+      }
+      // Sampling keeps only one batch of activations resident.
+      PeakBytes = std::max(
+          PeakBytes, static_cast<size_t>(256 * 4096 * sizeof(double)));
+    } else {
+      const PropagatedState State =
+          Analyzer.propagateSegment(Pipeline, LatentShape, E1, E2);
+      PairOom = State.OutOfMemory;
+      PeakBytes = std::max(PeakBytes, State.PeakBytes);
+      for (const OutputSpec &Spec : Specs)
+        AllBounds.push_back(Analyzer.boundsFor(State, Spec));
+    }
+
+    SumSeconds += PairTimer.seconds();
+    if (PairOom)
+      ++NumOom;
+    for (const ProbBounds &Bounds : AllBounds) {
+      SumWidth += Bounds.width();
+      SumLower += Bounds.Lower;
+      SumUpper += Bounds.Upper;
+      if (Bounds.nonTrivial())
+        ++NumNonTrivial;
+      ++NumBounds;
+    }
+  }
+
+  if (NumBounds > 0) {
+    Cell.MeanWidth = SumWidth / static_cast<double>(NumBounds);
+    Cell.MeanLower = SumLower / static_cast<double>(NumBounds);
+    Cell.MeanUpper = SumUpper / static_cast<double>(NumBounds);
+    Cell.FractionNonTrivial =
+        static_cast<double>(NumNonTrivial) / static_cast<double>(NumBounds);
+  }
+  if (!Pairs.empty()) {
+    Cell.FractionOom =
+        static_cast<double>(NumOom) / static_cast<double>(Pairs.size());
+    Cell.MeanSeconds = SumSeconds / static_cast<double>(Pairs.size());
+  }
+  Cell.NumBounds = NumBounds;
+  Cell.PeakGb = toScaledGb(PeakBytes, Config.MemoryBudgetBytes);
+  return Cell;
+}
+
+namespace {
+const char *GridHeader =
+    "key,dataset,network,method,neurons,pairs,bounds,width,lower,upper,"
+    "nontrivial,oom,seconds,peakgb";
+} // namespace
+
+void BenchEnv::saveCache() {
+  if (!Dirty)
+    return;
+  std::ofstream Out(Config.ResultsDir + "/grid.csv");
+  if (!Out)
+    return;
+  Out << GridHeader << '\n';
+  for (const auto &[Key, Cell] : Cache) {
+    Out << Key << ',' << Cell.DatasetName << ',' << Cell.NetworkName << ','
+        << methodName(Cell.Which) << ',' << Cell.Neurons << ','
+        << Cell.NumPairs << ',' << Cell.NumBounds << ',' << Cell.MeanWidth
+        << ',' << Cell.MeanLower << ',' << Cell.MeanUpper << ','
+        << Cell.FractionNonTrivial << ',' << Cell.FractionOom << ','
+        << Cell.MeanSeconds << ',' << Cell.PeakGb << '\n';
+  }
+  Dirty = false;
+}
+
+void BenchEnv::loadCache() {
+  std::ifstream In(Config.ResultsDir + "/grid.csv");
+  if (!In)
+    return;
+  std::string Line;
+  std::getline(In, Line); // header
+  while (std::getline(In, Line)) {
+    std::istringstream Row(Line);
+    std::string Field;
+    std::vector<std::string> Fields;
+    while (std::getline(Row, Field, '|')) {
+      // The key itself contains '|'; re-split carefully below.
+      Fields.push_back(Field);
+    }
+    // Key format: dataset|network|method, followed by comma fields. Re-parse.
+    const size_t FirstComma = Line.find(',', Line.rfind('|'));
+    if (FirstComma == std::string::npos)
+      continue;
+    const std::string Key = Line.substr(0, FirstComma);
+    std::istringstream Rest(Line.substr(FirstComma + 1));
+    GridCell Cell;
+    std::string MethodStr;
+    auto Next = [&Rest]() {
+      std::string F;
+      std::getline(Rest, F, ',');
+      return F;
+    };
+    Cell.DatasetName = Next();
+    Cell.NetworkName = Next();
+    MethodStr = Next();
+    Cell.Neurons = std::stoll(Next());
+    Cell.NumPairs = std::stoll(Next());
+    Cell.NumBounds = std::stoll(Next());
+    Cell.MeanWidth = std::stod(Next());
+    Cell.MeanLower = std::stod(Next());
+    Cell.MeanUpper = std::stod(Next());
+    Cell.FractionNonTrivial = std::stod(Next());
+    Cell.FractionOom = std::stod(Next());
+    Cell.MeanSeconds = std::stod(Next());
+    Cell.PeakGb = std::stod(Next());
+    for (int M = 0; M < static_cast<int>(Method::NumMethods); ++M)
+      if (MethodStr == methodName(static_cast<Method>(M)))
+        Cell.Which = static_cast<Method>(M);
+    Cache[Key] = Cell;
+  }
+}
+
+} // namespace genprove

@@ -1,0 +1,107 @@
+//===- bench/fig1_interpolation.cpp - Figure 1 reproduction -----*- C++ -*-===//
+//
+// Figure 1 contrasts latent-space interpolation (realistic intermediate
+// images) with naive pixel-wise interpolation (ghosting artifacts that no
+// real image distribution contains). We quantify the same contrast: the
+// GAN discriminator's realism score and the attribute-detector margin,
+// sampled along both paths. The convex hull of the generated endpoints
+// contains the pixel-wise average — which scores far less "real" — which
+// is exactly why convex relaxations fail on generative specifications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  BenchEnv Env;
+  ModelZoo &Zoo = Env.zoo();
+  const Dataset &Set = Zoo.train(DatasetId::Faces);
+  Vae &Model = Zoo.vae(DatasetId::Faces);
+  Sequential &Discriminator = Zoo.ganDiscriminator();
+  Sequential &Detector = Zoo.facesDetector("ConvMed");
+  const int64_t NumAttrs = Set.numAttributes();
+
+  std::printf("Figure 1: latent-space vs pixel-wise interpolation\n");
+  std::printf("(discriminator realism score and attribute-verdict "
+              "retention along both paths)\n\n");
+
+  // Use an image and its flip (the head-orientation setting of Figure 1).
+  const int64_t Image = 3;
+  const Tensor X1 = Set.image(Image);
+  const Tensor X2 = Set.flippedImage(Image);
+  const Tensor E1 = Model.encode(X1);
+  const Tensor E2 = Model.encode(X2);
+
+  // Two series per path: the discriminator's realism score and the
+  // fraction of ground-truth attribute verdicts the detector keeps (the
+  // pixel-wise blends of a face and its flip ghost features apart, which
+  // degrades the verdicts — the Figure 1 phenomenon).
+  TablePrinter Table({"alpha", "latent score", "pixel score",
+                      "latent attrs kept", "pixel attrs kept"});
+  int64_t LatentWorst = NumAttrs, PixelWorst = NumAttrs;
+  for (int Step = 0; Step <= 10; ++Step) {
+    const double Alpha = Step / 10.0;
+    // Latent path: decode the interpolated encoding.
+    Tensor E({1, Model.latentDim()});
+    for (int64_t J = 0; J < E.numel(); ++J)
+      E[J] = E1[J] + Alpha * (E2[J] - E1[J]);
+    const Tensor LatentImg = Model.decode(E);
+    const double LatentScore = Discriminator.predict(LatentImg)[0];
+    // Pixel path: blend the raw images.
+    Tensor PixelImg = X1.clone();
+    for (int64_t J = 0; J < PixelImg.numel(); ++J)
+      PixelImg[J] = X1[J] + Alpha * (X2[J] - X1[J]);
+    const double PixelScore = Discriminator.predict(PixelImg)[0];
+
+    auto AttrsKept = [&](const Tensor &Img) {
+      const Tensor Logits = Detector.predict(Img);
+      int64_t Kept = 0;
+      for (int64_t J = 0; J < NumAttrs; ++J) {
+        const bool Predicted = Logits[J] > 0.0;
+        const bool Truth = Set.Attributes.at(Image, J) > 0.5;
+        Kept += Predicted == Truth;
+      }
+      return Kept;
+    };
+    const int64_t LatentKept = AttrsKept(LatentImg);
+    const int64_t PixelKept = AttrsKept(PixelImg);
+    LatentWorst = std::min(LatentWorst, LatentKept);
+    PixelWorst = std::min(PixelWorst, PixelKept);
+
+    char A[16], Lk[24], Pk[24];
+    std::snprintf(A, sizeof(A), "%.1f", Alpha);
+    std::snprintf(Lk, sizeof(Lk), "%lld/%lld",
+                  static_cast<long long>(LatentKept),
+                  static_cast<long long>(NumAttrs));
+    std::snprintf(Pk, sizeof(Pk), "%lld/%lld",
+                  static_cast<long long>(PixelKept),
+                  static_cast<long long>(NumAttrs));
+    Table.addRow({A, formatBound(LatentScore), formatBound(PixelScore), Lk,
+                  Pk});
+  }
+  Table.print();
+  std::printf("\nworst attributes kept: latent path %lld/%lld, pixel path "
+              "%lld/%lld\n",
+              static_cast<long long>(LatentWorst),
+              static_cast<long long>(NumAttrs),
+              static_cast<long long>(PixelWorst),
+              static_cast<long long>(NumAttrs));
+  std::printf("Paper context: in the paper, mid-interpolation pixel blends "
+              "of 64x64 faces ghost badly off the data manifold while the "
+              "latent path stays realistic. At this scale the synthetic "
+              "faces are nearly left-right symmetric, so pixel blends of a "
+              "face with its flip remain close to valid images, and the "
+              "blurry VAE decodes score lower on both metrics — see "
+              "EXPERIMENTS.md for the discussion. The structural point the "
+              "figure supports (the convex hull of the generated endpoints "
+              "contains pixel blends, which convex domains must include) "
+              "is independent of which path scores higher and is what "
+              "Table 2 measures.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+//===- bench/micro_kernels.cpp - kernel microbenchmarks ---------*- C++ -*-===//
+//
+// google-benchmark microbenchmarks of the kernels the verifier spends its
+// time in: matmul, im2col convolution, transposed convolution, segment
+// ReLU splitting, relaxation, and degree-1 vs degree-2 propagation (the
+// GenProveCurve ablation from DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/domains/propagate.h"
+#include "src/nn/activations.h"
+#include "src/nn/linear.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace genprove;
+
+void BM_Matmul(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  Rng R(1);
+  Tensor A = Tensor::randn({N, N}, R);
+  Tensor B = Tensor::randn({N, N}, R);
+  for (auto _ : State) {
+    Tensor C = matmul(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N * N);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2d(benchmark::State &State) {
+  const int64_t Batch = State.range(0);
+  Rng R(2);
+  ConvGeometry G;
+  G.InChannels = 16;
+  G.OutChannels = 32;
+  G.KernelH = G.KernelW = 4;
+  G.Stride = 2;
+  G.Padding = 1;
+  Tensor In = Tensor::randn({Batch, 16, 16, 16}, R);
+  Tensor W = Tensor::randn({32, 16, 4, 4}, R);
+  Tensor B = Tensor::randn({32}, R);
+  for (auto _ : State) {
+    Tensor Out = conv2d(In, W, B, G);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Batch);
+}
+BENCHMARK(BM_Conv2d)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ConvTranspose2d(benchmark::State &State) {
+  const int64_t Batch = State.range(0);
+  Rng R(3);
+  ConvGeometry G;
+  G.InChannels = 32;
+  G.OutChannels = 16;
+  G.KernelH = G.KernelW = 3;
+  G.Stride = 2;
+  G.Padding = 1;
+  G.OutputPadding = 1;
+  Tensor In = Tensor::randn({Batch, 32, 8, 8}, R);
+  Tensor W = Tensor::randn({32, 16, 3, 3}, R);
+  Tensor B = Tensor::randn({16}, R);
+  for (auto _ : State) {
+    Tensor Out = convTranspose2d(In, W, B, G);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Batch);
+}
+BENCHMARK(BM_ConvTranspose2d)->Arg(1)->Arg(16);
+
+/// Segment vs quadratic propagation through a random MLP: the degree-2
+/// overhead ablation.
+void propagateDegree(benchmark::State &State, int Degree) {
+  Rng R(4);
+  Sequential Net;
+  const std::vector<int64_t> Dims{8, 64, 64, 10};
+  for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+    auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+    L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, 0.5);
+    L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.3);
+    Net.add(std::move(L));
+    if (I + 2 < Dims.size())
+      Net.add(std::make_unique<ReLU>());
+  }
+  Tensor A0 = Tensor::randn({1, 8}, R);
+  Tensor A1 = Tensor::randn({1, 8}, R);
+  Tensor A2 = Tensor::randn({1, 8}, R);
+
+  for (auto _ : State) {
+    std::vector<Region> Init;
+    if (Degree == 1)
+      Init.push_back(makeSegmentRegion(A0, A1));
+    else
+      Init.push_back(makeQuadraticRegion(A0, A1, A2));
+    PropagateConfig Config;
+    DeviceMemoryModel Memory;
+    PropagateStats Stats;
+    auto Final = propagateRegions(Net.view(), Shape({1, 8}), std::move(Init),
+                                  Config, Memory, Stats);
+    benchmark::DoNotOptimize(Final.size());
+  }
+}
+
+void BM_PropagateSegment(benchmark::State &State) {
+  propagateDegree(State, 1);
+}
+BENCHMARK(BM_PropagateSegment);
+
+void BM_PropagateQuadratic(benchmark::State &State) {
+  propagateDegree(State, 2);
+}
+BENCHMARK(BM_PropagateQuadratic);
+
+void BM_RelaxHeuristic(benchmark::State &State) {
+  const int64_t NumPieces = State.range(0);
+  Rng R(5);
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::vector<Region> Chain;
+    Tensor Prev = Tensor::randn({1, 32}, R);
+    for (int64_t I = 0; I < NumPieces; ++I) {
+      Tensor Next = Prev.clone();
+      for (int64_t J = 0; J < 32; ++J)
+        Next[J] += R.normal(0.0, 0.05);
+      const double T0 = static_cast<double>(I) / NumPieces;
+      const double T1 = static_cast<double>(I + 1) / NumPieces;
+      Chain.push_back(makeSegmentRegion(Prev, Next, T1 - T0, T0, T1));
+      Prev = Next;
+    }
+    State.ResumeTiming();
+    RelaxConfig Config;
+    Config.RelaxPercent = 0.5;
+    Config.ClusterK = 50.0;
+    Config.NodeThreshold = 100;
+    relaxRegions(Chain, Config);
+    benchmark::DoNotOptimize(Chain.size());
+  }
+}
+BENCHMARK(BM_RelaxHeuristic)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

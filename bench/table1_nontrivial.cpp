@@ -1,0 +1,46 @@
+//===- bench/table1_nontrivial.cpp - Table 1 reproduction -------*- C++ -*-===//
+//
+// Table 1: "% of samples with non-trivial verified bounds" — deterministic
+// vs probabilistic analysis, exact vs relaxed, on CelebA*/Zappos50k* with
+// ConvSmall and ConvMed. Non-trivial means strictly tighter than [0, 1].
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  BenchEnv Env;
+
+  std::printf("Table 1: %% of samples with non-trivial verified bounds\n");
+  std::printf("(exact vs relaxed, deterministic vs probabilistic; |P| = %lld "
+              "pairs per cell, scaled from the paper's 100)\n\n",
+              static_cast<long long>(Env.config().PairsPerCell));
+
+  TablePrinter Table({"Dataset", "Network", "BASELINE (det)",
+                      "GenProve^0 (prob)", "GenProveDet^p (det)",
+                      "GenProve^p (prob)"});
+
+  for (DatasetId Data : {DatasetId::Faces, DatasetId::Shoes}) {
+    for (const char *Net : {"ConvSmall", "ConvMed"}) {
+      const GridCell &Baseline = Env.cell(Data, Net, Method::Baseline);
+      const GridCell &Exact = Env.cell(Data, Net, Method::GenProveExact);
+      const GridCell &Det = Env.cell(Data, Net, Method::GenProveDet);
+      const GridCell &Relax = Env.cell(Data, Net, Method::GenProveRelax);
+      Table.addRow({datasetDisplayName(Data), Net,
+                    formatPercent(Baseline.FractionNonTrivial),
+                    formatPercent(Exact.FractionNonTrivial),
+                    formatPercent(Det.FractionNonTrivial),
+                    formatPercent(Relax.FractionNonTrivial)});
+    }
+  }
+  Table.print();
+  std::printf("\nPaper shape: probabilistic columns dominate deterministic "
+              "ones; the relaxed probabilistic verifier reaches 100%%.\n");
+  return 0;
+}

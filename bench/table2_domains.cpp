@@ -1,0 +1,63 @@
+//===- bench/table2_domains.cpp - Table 2 reproduction ----------*- C++ -*-===//
+//
+// Table 2: average consistency bound widths (lower is better) of the
+// convex baseline domains vs GenProve across three network sizes. All
+// methods are lifted probabilistically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  BenchEnv Env;
+
+  std::printf("Table 2: average consistency bound width (u - l), lower is "
+              "better\n\n");
+
+  for (DatasetId Data : {DatasetId::Faces, DatasetId::Shoes}) {
+    std::printf("Dataset: %s\n", datasetDisplayName(Data));
+    TablePrinter Table(
+        {"Group", "Domain", "ConvSmall", "ConvMed", "ConvLarge", "Precise",
+         "Scalable"});
+    struct RowSpec {
+      const char *Group;
+      Method Which;
+      const char *Name;
+    };
+    const RowSpec Rows[] = {
+        {"Prior Work", Method::Box, "Box"},
+        {"Prior Work", Method::HybridZono, "HybridZono"},
+        {"Prior Work", Method::DeepZono, "DeepZono"},
+        {"Prior Work", Method::Zonotope, "Zonotope"},
+        {"Our Work", Method::GenProveExact, "GenProve^0"},
+        {"Our Work", Method::GenProveRelax, "GenProve^0.02_100"},
+    };
+    for (const RowSpec &Row : Rows) {
+      double Widths[3] = {1.0, 1.0, 1.0};
+      double WorstOom = 0.0;
+      int Idx = 0;
+      for (const char *Net : {"ConvSmall", "ConvMed", "ConvLarge"}) {
+        const GridCell &Cell = Env.cell(Data, Net, Row.Which);
+        Widths[Idx++] = Cell.MeanWidth;
+        WorstOom = std::max(WorstOom, Cell.FractionOom);
+      }
+      const bool Precise = Widths[0] < 0.1;
+      const bool Scalable = WorstOom < 0.5;
+      Table.addRow({Row.Group, Row.Name, formatBound(Widths[0]),
+                    formatBound(Widths[1]), formatBound(Widths[2]),
+                    Precise ? "yes" : "-", Scalable ? "yes" : "-"});
+    }
+    Table.print();
+    std::printf("\n");
+  }
+  std::printf("Paper shape: convex domains give widths near 1 (or OOM); "
+              "GenProve^0 is exact where it fits; GenProve^0.02_100 stays "
+              "tight at every size.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- bench/table4_sampling.cpp - Table 4 reproduction ---------*- C++ -*-===//
+//
+// Table 4: verified GenProve bounds vs the 99.999%-confidence sampling
+// baseline (Clopper-Pearson). GenProve's bounds are always sound; the
+// sampling interval is only correct with the stated confidence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  BenchEnv Env;
+
+  std::printf("Table 4: bound width (u - l), GenProve vs sampling at "
+              "99.999%% confidence (ConvLarge, %lld samples per pair)\n\n",
+              static_cast<long long>(Env.config().SamplesPerPair));
+
+  TablePrinter Table(
+      {"Guarantee", "Domain", "CelebA*", "Zappos50k*"});
+  {
+    const GridCell &F =
+        Env.cell(DatasetId::Faces, "ConvLarge", Method::GenProveRelax);
+    const GridCell &S =
+        Env.cell(DatasetId::Shoes, "ConvLarge", Method::GenProveRelax);
+    Table.addRow({"Verified Correctness", "GenProve^0.02_100",
+                  formatBound(F.MeanWidth), formatBound(S.MeanWidth)});
+  }
+  {
+    const GridCell &F =
+        Env.cell(DatasetId::Faces, "ConvLarge", Method::Sampling);
+    const GridCell &S =
+        Env.cell(DatasetId::Shoes, "ConvLarge", Method::Sampling);
+    Table.addRow({"99.999% Confidence", "Sampling", formatBound(F.MeanWidth),
+                  formatBound(S.MeanWidth)});
+  }
+  Table.print();
+  std::printf("\nPaper shape: GenProve's verified widths beat the sampling "
+              "interval, which additionally is only statistically "
+              "correct.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- bench/table6_adversarial.cpp - Table 6 reproduction ------*- C++ -*-===//
+//
+// Table 6: verification of adversarial generative interpolations on
+// MNIST* with ConvBiggest trained three ways (standard, FGSM, DiffAI/Box).
+// Columns: standard accuracy, PGD accuracy, Box-provable accuracy, and the
+// GenProve bound width on the adversarial-tube specification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/core/adversarial_spec.h"
+#include "src/train/trainer.h"
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  BenchEnv Env;
+  ModelZoo &Zoo = Env.zoo();
+  const Dataset &Train = Zoo.train(DatasetId::Digits);
+  const Dataset &Test = Zoo.test(DatasetId::Digits);
+  Vae &Model = Zoo.vae(DatasetId::Digits);
+  const double CertEps = Zoo.config().AdvEpsilon;
+  const double AttackEps = Zoo.config().AttackEpsilon;
+  const double TubeEps = Zoo.config().TubeEpsilon;
+
+  std::printf("Table 6: adversarial generative interpolations on MNIST* "
+              "(ConvBiggest)\n");
+  std::printf("(paper: one eps = 0.1 at 28x28; at this scale the radii "
+              "are split: PGD attack eps = %.2f, Box certification eps = "
+              "%.3f, tube eps = %.3f)\n\n",
+              AttackEps, CertEps, TubeEps);
+
+  const Shape LatentShape({1, Model.latentDim()});
+  const Shape ImgShape({1, Train.Channels, Train.Size, Train.Size});
+
+  GenProveConfig Config;
+  Config.RelaxPercent = Env.config().RelaxPercent;
+  Config.ClusterK = Env.config().ClusterK;
+  Config.NodeThreshold = Env.config().NodeThreshold;
+  Config.MemoryBudgetBytes = Env.config().MemoryBudgetBytes;
+  Config.Schedule = RefinementSchedule::A;
+  const GenProve Analyzer(Config);
+
+  TablePrinter Table({"Training scheme", "standard acc", "PGD acc",
+                      "provable acc (Box)", "bound width (u-l)"});
+
+  for (TrainScheme Scheme :
+       {TrainScheme::Standard, TrainScheme::Fgsm, TrainScheme::DiffAiBox}) {
+    Sequential &Net = Zoo.digitsClassifier(Scheme);
+    const double CleanAcc = classifierAccuracy(Net, Test);
+    Rng AttackRng(404);
+    const double PgdAcc =
+        pgdAccuracy(Net, Test, AttackEps, /*Steps=*/5, AttackRng);
+    const double Provable = boxProvableAccuracy(Net, Test, CertEps);
+
+    // The adversarial-tube specification over same-class interpolations.
+    Rng PairRng(505);
+    const auto Pairs = sameClassPairs(Train, 3, PairRng);
+    double SumWidth = 0.0;
+    for (const SpecPair &Pair : Pairs) {
+      const Tensor E1 = Model.encode(Train.image(Pair.First));
+      const Tensor E2 = Model.encode(Train.image(Pair.Second));
+      const OutputSpec Spec = OutputSpec::argmaxWins(
+          Train.Labels[static_cast<size_t>(Pair.First)], 10);
+      const AnalysisResult Result = analyzeAdversarialTube(
+          Analyzer, Model.decoder().view(), Net.view(), LatentShape, ImgShape,
+          E1, E2, TubeEps, Spec);
+      SumWidth += Result.Bounds.width();
+    }
+    const double MeanWidth = SumWidth / static_cast<double>(Pairs.size());
+
+    const char *Name = Scheme == TrainScheme::Standard ? "Standard training"
+                       : Scheme == TrainScheme::Fgsm
+                           ? "Adversarial with FGSM"
+                           : "Adversarial with DiffAI";
+    Table.addRow({Name, formatPercent(CleanAcc), formatPercent(PgdAcc),
+                  formatPercent(Provable), formatBound(MeanWidth)});
+  }
+  Table.print();
+  std::printf("\nPaper shape: only the DiffAI-trained network has non-zero "
+              "provable accuracy and a tube bound width well below 1.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===- bench/table7_ood.cpp - Table 7 reproduction --------------*- C++ -*-===//
+//
+// Table 7: comparing the realism of VAE / FactorVAE / ACAI interpolations
+// with a GAN-discriminator OOD detector, under the arcsine-distributed
+// interpolation specification between two *unrelated* images. The reported
+// number is the upper bound on the probability that the discriminator
+// flags the generated image as fake (lower = generator fools it more).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  BenchEnv Env;
+  ModelZoo &Zoo = Env.zoo();
+  const Dataset &Set = Zoo.train(DatasetId::Faces);
+  Sequential &Discriminator = Zoo.ganDiscriminator();
+  const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+  (void)ImgShape;
+
+  std::printf("Table 7: OOD-detector upper bound under the arcsine "
+              "interpolation specification (unrelated-image pairs)\n\n");
+
+  GenProveConfig Config;
+  Config.RelaxPercent = Env.config().RelaxPercent;
+  Config.ClusterK = Env.config().ClusterK;
+  Config.NodeThreshold = Env.config().NodeThreshold;
+  Config.MemoryBudgetBytes = Env.config().MemoryBudgetBytes;
+  Config.Schedule = RefinementSchedule::A;
+  Config.Distribution = ParamDistribution::Arcsine;
+  const GenProve Analyzer(Config);
+
+  // An unrelated pair: different attribute signatures.
+  Rng R(606);
+  int64_t First = 0, Second = 1;
+  for (int64_t Trial = 0; Trial < 100; ++Trial) {
+    const int64_t A = static_cast<int64_t>(R.below(Set.numImages()));
+    const int64_t B = static_cast<int64_t>(R.below(Set.numImages()));
+    bool Differ = false;
+    for (int64_t J = 0; J < Set.numAttributes(); ++J)
+      if (Set.Attributes.at(A, J) != Set.Attributes.at(B, J))
+        Differ = true;
+    if (Differ && A != B) {
+      First = A;
+      Second = B;
+      break;
+    }
+  }
+
+  // Spec D: "discriminator says fake" = score below a threshold. LSGAN
+  // trains real -> 1, fake -> 0, but at this scale every decoded image
+  // scores below 0.5, so the threshold is calibrated to the midpoint
+  // between the discriminator's mean score on real images and on VAE
+  // reconstructions (the natural operating point of the detector).
+  double RealMean = 0.0, ReconMean = 0.0;
+  {
+    Vae &Cal = Zoo.vae(DatasetId::Faces);
+    const int64_t N = 50;
+    for (int64_t I = 0; I < N; ++I) {
+      const Tensor Img = Set.image(I);
+      RealMean += Discriminator.predict(Img)[0];
+      ReconMean += Discriminator.predict(Cal.decode(Cal.encode(Img)))[0];
+    }
+    RealMean /= static_cast<double>(N);
+    ReconMean /= static_cast<double>(N);
+  }
+  // Interpolations of unrelated images score below reconstructions, so
+  // the detection threshold sits one real-vs-recon gap *below* the
+  // reconstruction score: anything less realistic than that reads fake.
+  const double Threshold = 2.0 * ReconMean - RealMean;
+  std::printf("calibrated fake threshold: %.4f (real mean %.4f, recon mean "
+              "%.4f)\n\n",
+              Threshold, RealMean, ReconMean);
+  Tensor Normal({1, 1}, {-1.0});
+  const OutputSpec FakeSpec = OutputSpec::halfspace(Normal, Threshold);
+
+  TablePrinter Table({"Model", "Upper Bound", "Bound Width"});
+
+  struct Row {
+    const char *Name;
+    Sequential *Decoder;
+    Tensor E1, E2;
+  };
+  std::vector<Row> Rows;
+  {
+    Vae &Model = Zoo.vae(DatasetId::Faces);
+    Rows.push_back({"VAE", &Model.decoder(),
+                    Model.encode(Set.image(First)),
+                    Model.encode(Set.image(Second))});
+  }
+  {
+    FactorVae &Model = Zoo.facesFactorVae();
+    Rows.push_back({"FactorVAE", &Model.decoder(),
+                    Model.encode(Set.image(First)),
+                    Model.encode(Set.image(Second))});
+  }
+  {
+    Acai &Model = Zoo.facesAcai();
+    Rows.push_back({"ACAI", &Model.decoder(),
+                    Model.encode(Set.image(First)),
+                    Model.encode(Set.image(Second))});
+  }
+
+  for (Row &Entry : Rows) {
+    const auto Pipeline =
+        concatViews(Entry.Decoder->view(), Discriminator.view());
+    const Shape LatentShape({1, Entry.E1.numel()});
+    const PropagatedState State = Analyzer.propagateSegment(
+        Pipeline, LatentShape, Entry.E1, Entry.E2);
+    const ProbBounds Bounds = Analyzer.boundsFor(State, FakeSpec);
+    Table.addRow({Entry.Name, formatBound(Bounds.Upper),
+                  formatBound(Bounds.width())});
+  }
+  Table.print();
+  std::printf("\nPaper expectation: ACAI (trained for realistic "
+              "interpolations) achieves the lowest upper bound, then "
+              "FactorVAE, then the plain VAE. At this training scale (4 "
+              "CPU epochs) the adversarially-regularized generators do not "
+              "reliably out-interpolate the plain VAE; the measured "
+              "ordering is discussed in EXPERIMENTS.md.\n");
+  return 0;
+}

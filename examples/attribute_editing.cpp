@@ -1,0 +1,77 @@
+//===- examples/attribute_editing.cpp - Table 5b as an example --*- C++ -*-===//
+//
+// Attribute independence: add a multiple of the learned "WearingHat"
+// latent direction to an image's encoding and certify which *other*
+// attribute verdicts survive the whole edit path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/genprove.h"
+#include "src/core/model_zoo.h"
+#include "src/data/attribute_vector.h"
+#include "src/data/synth_faces.h"
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  ZooConfig ZC;
+  ZC.Verbose = true;
+  ModelZoo Zoo(ZC);
+  const Dataset &Set = Zoo.train(DatasetId::Faces);
+  Vae &Model = Zoo.vae(DatasetId::Faces);
+  Sequential &Detector = Zoo.facesDetector("ConvMed");
+
+  const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+  const Shape LatentShape({1, Model.latentDim()});
+  const int64_t NumAttrs = Detector.outputShape(ImgShape).dim(1);
+  const auto Pipeline = concatViews(Model.decoder().view(), Detector.view());
+
+  // Larsen-style attribute direction for "WearingHat".
+  const Tensor Direction = attributeVector(Model, Set, FaceWearingHat);
+
+  // Pick a hat-less image and edit toward "with hat".
+  int64_t Image = 0;
+  for (int64_t I = 0; I < Set.numImages(); ++I)
+    if (Set.Attributes.at(I, FaceWearingHat) < 0.5) {
+      Image = I;
+      break;
+    }
+  const Tensor E1 = Model.encode(Set.image(Image));
+  Tensor E2 = E1.clone();
+  for (int64_t J = 0; J < E2.numel(); ++J)
+    E2[J] += 3.0 * Direction[J];
+
+  std::printf("Certifying attribute independence under a 'WearingHat' "
+              "edit\n\n");
+
+  GenProveConfig Config;
+  Config.RelaxPercent = 0.02;
+  Config.ClusterK = 100.0;
+  Config.NodeThreshold = 250;
+  Config.MemoryBudgetBytes = 240ull << 20;
+  Config.Schedule = RefinementSchedule::A;
+  const GenProve Analyzer(Config);
+  const PropagatedState State =
+      Analyzer.propagateSegment(Pipeline, LatentShape, E1, E2);
+  if (State.OutOfMemory) {
+    std::printf("analysis ran out of simulated device memory\n");
+    return 1;
+  }
+
+  TablePrinter Table({"Attribute", "l", "u", "independent of the edit?"});
+  for (int64_t J = 0; J < NumAttrs; ++J) {
+    if (J == FaceWearingHat)
+      continue;
+    const OutputSpec Spec = OutputSpec::attributeSign(
+        J, Set.Attributes.at(Image, J) > 0.5, NumAttrs);
+    const ProbBounds Bounds = Analyzer.boundsFor(State, Spec);
+    Table.addRow({Set.AttributeNames[static_cast<size_t>(J)],
+                  formatBound(Bounds.Lower), formatBound(Bounds.Upper),
+                  Bounds.Lower >= 1.0 - 1e-9 ? "yes (certified)" : "no"});
+  }
+  Table.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- examples/ood_detection.cpp - Table 7 as an example -------*- C++ -*-===//
+//
+// Non-uniform specifications: how often does a GAN discriminator flag a
+// generated interpolation as fake, when the interpolation parameter is
+// arcsine-distributed (mass concentrated near the endpoints)? GenProve
+// bounds the probability exactly through the decoder + discriminator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/genprove.h"
+#include "src/core/model_zoo.h"
+#include "src/util/table.h"
+
+#include <cstdio>
+
+using namespace genprove;
+
+int main() {
+  ZooConfig ZC;
+  ZC.Verbose = true;
+  ModelZoo Zoo(ZC);
+  const Dataset &Set = Zoo.train(DatasetId::Faces);
+  Vae &Model = Zoo.vae(DatasetId::Faces);
+  Sequential &Discriminator = Zoo.ganDiscriminator();
+
+  const Shape LatentShape({1, Model.latentDim()});
+  const auto Pipeline =
+      concatViews(Model.decoder().view(), Discriminator.view());
+
+  // Two unrelated images.
+  const Tensor E1 = Model.encode(Set.image(0));
+  const Tensor E2 = Model.encode(Set.image(1));
+
+  // D = "discriminator says fake" = score < 0.5 (LSGAN: real -> 1).
+  Tensor Normal({1, 1}, {-1.0});
+  const OutputSpec FakeSpec = OutputSpec::halfspace(Normal, 0.5);
+
+  std::printf("Bounding Pr[discriminator flags the interpolation as fake]\n"
+              "under uniform vs arcsine parameter distributions\n\n");
+
+  TablePrinter Table({"distribution", "l", "u"});
+  for (ParamDistribution Dist :
+       {ParamDistribution::Uniform, ParamDistribution::Arcsine}) {
+    GenProveConfig Config;
+    Config.RelaxPercent = 0.02;
+    Config.ClusterK = 100.0;
+    Config.NodeThreshold = 250;
+    Config.MemoryBudgetBytes = 240ull << 20;
+    Config.Schedule = RefinementSchedule::A;
+    Config.Distribution = Dist;
+    const GenProve Analyzer(Config);
+    const PropagatedState State =
+        Analyzer.propagateSegment(Pipeline, LatentShape, E1, E2);
+    const ProbBounds Bounds = Analyzer.boundsFor(State, FakeSpec);
+    Table.addRow({paramDistributionName(Dist), formatBound(Bounds.Lower),
+                  formatBound(Bounds.Upper)});
+  }
+  Table.print();
+  std::printf("\nThe arcsine distribution concentrates mass near the real "
+              "endpoints, so its fake-probability is typically lower.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- core/adversarial_spec.cpp ------------------------------*- C++ -*-===//
+
+#include "src/core/adversarial_spec.h"
+
+#include "src/util/timer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+AnalysisResult analyzeAdversarialTube(
+    const GenProve &Analyzer, const std::vector<const Layer *> &DecoderLayers,
+    const std::vector<const Layer *> &ClassifierLayers,
+    const Shape &LatentShape, const Shape &ImageShape, const Tensor &Start,
+    const Tensor &End, double Epsilon, const OutputSpec &Spec) {
+  Timer Clock;
+  AnalysisResult Result;
+
+  // Stage 1: GenProve through the decoder.
+  const PropagatedState Decoded =
+      Analyzer.propagateSegment(DecoderLayers, LatentShape, Start, End);
+  Result.MaxRegions = Decoded.Stats.MaxRegions;
+  Result.MaxNodes = Decoded.Stats.MaxNodes;
+  Result.PeakBytes = Decoded.PeakBytes;
+  Result.Retries = Decoded.Retries;
+  if (Decoded.OutOfMemory) {
+    Result.Bounds = {0.0, 1.0, true};
+    Result.OutOfMemory = true;
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+
+  // Stage 2: box every piece and inflate by eps.
+  std::vector<Region> Tubes;
+  Tubes.reserve(Decoded.Regions.size());
+  for (const Region &R : Decoded.Regions) {
+    Region Box = boundingBox(R);
+    for (int64_t J = 0; J < Box.dim(); ++J)
+      Box.Radius[J] += Epsilon;
+    Tubes.push_back(std::move(Box));
+  }
+
+  // Stage 3: interval propagation through the classifier.
+  const PropagatedState Classified = Analyzer.propagateRegionsFrom(
+      ClassifierLayers, ImageShape, std::move(Tubes));
+  Result.PeakBytes = std::max(Result.PeakBytes, Classified.PeakBytes);
+  if (Classified.OutOfMemory) {
+    Result.Bounds = {0.0, 1.0, true};
+    Result.OutOfMemory = true;
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+
+  // Stage 4: per-box universal property.
+  double Lower = 0.0;
+  double CertainlyViolating = 0.0;
+  for (const Region &R : Classified.Regions) {
+    if (Spec.boxContained(R.Center, R.Radius)) {
+      Lower += R.Weight;
+    } else {
+      // If some halfspace is violated by *every* point of the box, every
+      // latent point in this group has a misclassified perturbation.
+      for (const auto &H : Spec.halfspaces()) {
+        double Max = H.Offset;
+        for (int64_t J = 0; J < H.Normal.numel(); ++J)
+          Max += H.Normal[J] * R.Center[J] +
+                 std::fabs(H.Normal[J]) * R.Radius[J];
+        if (Max <= 0.0) {
+          CertainlyViolating += R.Weight;
+          break;
+        }
+      }
+    }
+  }
+  Result.Bounds.Lower = std::clamp(Lower, 0.0, 1.0);
+  Result.Bounds.Upper = std::clamp(1.0 - CertainlyViolating, 0.0, 1.0);
+  Result.Bounds.OutOfMemory = false;
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+} // namespace genprove

@@ -1,0 +1,36 @@
+//===- core/adversarial_spec.h - L-inf tubes around generations -*- C++ -*-===//
+///
+/// \file
+/// The higher-dimensional specification of Section 5.3 / Table 6:
+/// adversarial consistency
+///
+///   Pr_{e ~ U(e1e2)} [ forall a in B_inf_eps(n_D(e)):
+///                      argmax_i n_A(a)_i = t ].
+///
+/// Following the paper: the segment is propagated through the decoder with
+/// GenProve, every resulting piece is boxed, each box is enlarged by eps in
+/// every dimension, and the boxes are propagated through the classifier
+/// with interval arithmetic. A box whose output certainly satisfies the
+/// spec certifies its latent mass (lower bound); a box that certainly
+/// violates some constraint everywhere removes its mass from the upper
+/// bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_CORE_ADVERSARIAL_SPEC_H
+#define GENPROVE_CORE_ADVERSARIAL_SPEC_H
+
+#include "src/core/genprove.h"
+
+namespace genprove {
+
+/// Bounds on the adversarial consistency of a decoder/classifier pipeline.
+AnalysisResult analyzeAdversarialTube(
+    const GenProve &Analyzer, const std::vector<const Layer *> &DecoderLayers,
+    const std::vector<const Layer *> &ClassifierLayers,
+    const Shape &LatentShape, const Shape &ImageShape, const Tensor &Start,
+    const Tensor &End, double Epsilon, const OutputSpec &Spec);
+
+} // namespace genprove
+
+#endif // GENPROVE_CORE_ADVERSARIAL_SPEC_H

@@ -1,0 +1,137 @@
+//===- core/consistency.cpp -----------------------------------*- C++ -*-===//
+
+#include "src/core/consistency.h"
+
+#include <algorithm>
+#include <map>
+
+namespace genprove {
+
+std::vector<SpecPair> sameClassPairs(const Dataset &Set, int64_t NumPairs,
+                                     Rng &Generator) {
+  std::map<int64_t, std::vector<int64_t>> ByClass;
+  for (int64_t I = 0; I < Set.numImages(); ++I)
+    ByClass[Set.Labels[static_cast<size_t>(I)]].push_back(I);
+  std::vector<int64_t> Usable;
+  for (const auto &[Label, Members] : ByClass)
+    if (Members.size() >= 2)
+      Usable.push_back(Label);
+  std::vector<SpecPair> Pairs;
+  while (static_cast<int64_t>(Pairs.size()) < NumPairs && !Usable.empty()) {
+    const int64_t Label = Usable[Generator.below(Usable.size())];
+    const auto &Members = ByClass[Label];
+    const int64_t A =
+        Members[Generator.below(static_cast<uint64_t>(Members.size()))];
+    int64_t B = A;
+    while (B == A)
+      B = Members[Generator.below(static_cast<uint64_t>(Members.size()))];
+    Pairs.push_back({A, B});
+  }
+  return Pairs;
+}
+
+std::vector<SpecPair> sameAttributePairs(const Dataset &Set, int64_t NumPairs,
+                                         Rng &Generator) {
+  // Bucket images by their full attribute signature.
+  std::map<std::vector<int>, std::vector<int64_t>> Buckets;
+  const int64_t A = Set.numAttributes();
+  for (int64_t I = 0; I < Set.numImages(); ++I) {
+    std::vector<int> Key(static_cast<size_t>(A));
+    for (int64_t J = 0; J < A; ++J)
+      Key[static_cast<size_t>(J)] = Set.Attributes.at(I, J) > 0.5 ? 1 : 0;
+    Buckets[Key].push_back(I);
+  }
+  std::vector<const std::vector<int64_t> *> Usable;
+  for (const auto &[Key, Members] : Buckets)
+    if (Members.size() >= 2)
+      Usable.push_back(&Members);
+  std::vector<SpecPair> Pairs;
+  while (static_cast<int64_t>(Pairs.size()) < NumPairs && !Usable.empty()) {
+    const auto &Members = *Usable[Generator.below(Usable.size())];
+    const int64_t X =
+        Members[Generator.below(static_cast<uint64_t>(Members.size()))];
+    int64_t Y = X;
+    while (Y == X)
+      Y = Members[Generator.below(static_cast<uint64_t>(Members.size()))];
+    Pairs.push_back({X, Y});
+  }
+  return Pairs;
+}
+
+std::vector<SpecPair> flipPairs(int64_t NumImages, int64_t NumPairs,
+                                Rng &Generator) {
+  std::vector<SpecPair> Pairs;
+  for (int64_t I = 0; I < NumPairs; ++I) {
+    const int64_t Index =
+        static_cast<int64_t>(Generator.below(static_cast<uint64_t>(NumImages)));
+    Pairs.push_back({Index, Index});
+  }
+  return Pairs;
+}
+
+ConsistencyReport evaluateConsistency(const GenProve &Analyzer, Vae &Model,
+                                      Sequential &Classifier,
+                                      const Dataset &Set,
+                                      const std::vector<SpecPair> &Pairs,
+                                      SpecTarget Target, bool FlipSecond) {
+  const std::vector<const Layer *> Pipeline =
+      concatViews(Model.decoder().view(), Classifier.view());
+  const Shape LatentShape({1, Model.latentDim()});
+  const Shape ImgShape({1, Set.Channels, Set.Size, Set.Size});
+  const int64_t NumOutputs = Classifier.outputShape(ImgShape).dim(1);
+
+  ConsistencyReport Report;
+  double SumWidth = 0.0, SumLower = 0.0, SumUpper = 0.0, SumSeconds = 0.0;
+  int64_t NumNonTrivial = 0, NumOom = 0, NumBounds = 0;
+
+  for (const SpecPair &Pair : Pairs) {
+    const Tensor Img1 = Set.image(Pair.First);
+    const Tensor Img2 =
+        FlipSecond ? Set.flippedImage(Pair.First) : Set.image(Pair.Second);
+    const Tensor E1 = Model.encode(Img1);
+    const Tensor E2 = Model.encode(Img2);
+
+    const PropagatedState State =
+        Analyzer.propagateSegment(Pipeline, LatentShape, E1, E2);
+    SumSeconds += State.Seconds;
+    Report.PeakBytes = std::max(Report.PeakBytes, State.PeakBytes);
+    if (State.OutOfMemory)
+      ++NumOom;
+
+    std::vector<OutputSpec> Specs;
+    if (Target == SpecTarget::ClassLabel) {
+      Specs.push_back(OutputSpec::argmaxWins(
+          Set.Labels[static_cast<size_t>(Pair.First)], NumOutputs));
+    } else {
+      for (int64_t J = 0; J < NumOutputs; ++J)
+        Specs.push_back(OutputSpec::attributeSign(
+            J, Set.Attributes.at(Pair.First, J) > 0.5, NumOutputs));
+    }
+    for (const OutputSpec &Spec : Specs) {
+      const ProbBounds Bounds = Analyzer.boundsFor(State, Spec);
+      SumWidth += Bounds.width();
+      SumLower += Bounds.Lower;
+      SumUpper += Bounds.Upper;
+      if (Bounds.nonTrivial())
+        ++NumNonTrivial;
+      ++NumBounds;
+    }
+  }
+
+  if (NumBounds > 0) {
+    Report.MeanWidth = SumWidth / static_cast<double>(NumBounds);
+    Report.MeanLower = SumLower / static_cast<double>(NumBounds);
+    Report.MeanUpper = SumUpper / static_cast<double>(NumBounds);
+    Report.FractionNonTrivial =
+        static_cast<double>(NumNonTrivial) / static_cast<double>(NumBounds);
+  }
+  if (!Pairs.empty()) {
+    Report.FractionOom =
+        static_cast<double>(NumOom) / static_cast<double>(Pairs.size());
+    Report.MeanSeconds = SumSeconds / static_cast<double>(Pairs.size());
+  }
+  Report.NumBounds = NumBounds;
+  return Report;
+}
+
+} // namespace genprove

@@ -1,0 +1,71 @@
+//===- core/consistency.h - Consistency metric evaluation ------*- C++ -*-===//
+///
+/// \file
+/// The paper's evaluation metric (Section 5): *consistency* — for a point
+/// picked from the segment between the encodings of two ground-truth
+/// inputs, the probability that its decoding keeps the same attribute /
+/// class prediction. This module selects matched pairs, builds the latent
+/// specifications, runs a verifier over decoder-then-classifier, and
+/// aggregates the average-consistency bound widths of Tables 1, 2, 4, 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_CORE_CONSISTENCY_H
+#define GENPROVE_CORE_CONSISTENCY_H
+
+#include "src/core/genprove.h"
+#include "src/data/dataset.h"
+#include "src/train/vae.h"
+
+namespace genprove {
+
+/// A matched pair of dataset indices (same class, or identical attribute
+/// vector).
+struct SpecPair {
+  int64_t First = 0;
+  int64_t Second = 0;
+};
+
+/// Pairs with the same class label.
+std::vector<SpecPair> sameClassPairs(const Dataset &Set, int64_t NumPairs,
+                                     Rng &Generator);
+
+/// Pairs whose full attribute vectors agree (the paper's CelebA setting:
+/// "sign a_i = sign b_i for every attribute").
+std::vector<SpecPair> sameAttributePairs(const Dataset &Set, int64_t NumPairs,
+                                         Rng &Generator);
+
+/// Pairs of an image with its own horizontal flip (the head-orientation
+/// specification of Table 5a).
+std::vector<SpecPair> flipPairs(int64_t NumImages, int64_t NumPairs,
+                                Rng &Generator);
+
+/// Aggregated evaluation of one verifier over a set of pairs.
+struct ConsistencyReport {
+  double MeanWidth = 0.0;       ///< average of (u - l) over all bounds.
+  double MeanLower = 0.0;
+  double MeanUpper = 0.0;
+  double FractionNonTrivial = 0.0; ///< Table 1's metric.
+  double FractionOom = 0.0;
+  double MeanSeconds = 0.0;
+  size_t PeakBytes = 0;         ///< max over pairs.
+  int64_t NumBounds = 0;
+};
+
+/// How the per-pair specification is generated.
+enum class SpecTarget : uint8_t {
+  ClassLabel,     ///< argmax must equal the shared class label.
+  AllAttributes,  ///< one sign spec per attribute (CelebA style).
+};
+
+/// Evaluate GenProve (any configuration) over pairs. Images are encoded
+/// with \p Model's encoder; FlipSecond replaces the second image with the
+/// horizontal flip of the first (head orientation).
+ConsistencyReport evaluateConsistency(
+    const GenProve &Analyzer, Vae &Model, Sequential &Classifier,
+    const Dataset &Set, const std::vector<SpecPair> &Pairs, SpecTarget Target,
+    bool FlipSecond = false);
+
+} // namespace genprove
+
+#endif // GENPROVE_CORE_CONSISTENCY_H

@@ -1,0 +1,39 @@
+//===- core/distribution.cpp ----------------------------------*- C++ -*-===//
+
+#include "src/core/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+double paramCdf(ParamDistribution Dist, double T) {
+  T = std::clamp(T, 0.0, 1.0);
+  switch (Dist) {
+  case ParamDistribution::Uniform:
+    return T;
+  case ParamDistribution::Arcsine:
+    return 2.0 / M_PI * std::asin(std::sqrt(T));
+  }
+  return T;
+}
+
+std::function<double(double)> makeCdf(ParamDistribution Dist) {
+  return [Dist](double T) { return paramCdf(Dist, T); };
+}
+
+double sampleParam(ParamDistribution Dist, Rng &Generator) {
+  switch (Dist) {
+  case ParamDistribution::Uniform:
+    return Generator.uniform();
+  case ParamDistribution::Arcsine:
+    return Generator.arcsine();
+  }
+  return Generator.uniform();
+}
+
+const char *paramDistributionName(ParamDistribution Dist) {
+  return Dist == ParamDistribution::Uniform ? "uniform" : "arcsine";
+}
+
+} // namespace genprove

@@ -1,0 +1,36 @@
+//===- core/distribution.h - Input parameter distributions -----*- C++ -*-===//
+///
+/// \file
+/// Distributions over the specification's curve parameter t in [0, 1].
+/// The consistency experiments use the uniform distribution; Table 7 uses
+/// the arcsine distribution ("to demonstrate non-uniform distributions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_CORE_DISTRIBUTION_H
+#define GENPROVE_CORE_DISTRIBUTION_H
+
+#include "src/util/rng.h"
+
+#include <functional>
+
+namespace genprove {
+
+/// Supported input-parameter distributions.
+enum class ParamDistribution : uint8_t { Uniform, Arcsine };
+
+/// CDF value F(T) of the given distribution at T in [0, 1].
+double paramCdf(ParamDistribution Dist, double T);
+
+/// A callable CDF for the propagation engine.
+std::function<double(double)> makeCdf(ParamDistribution Dist);
+
+/// Draw one sample of the distribution (for the sampling baseline).
+double sampleParam(ParamDistribution Dist, Rng &Generator);
+
+/// Human-readable name ("uniform" / "arcsine").
+const char *paramDistributionName(ParamDistribution Dist);
+
+} // namespace genprove
+
+#endif // GENPROVE_CORE_DISTRIBUTION_H

@@ -1,0 +1,131 @@
+//===- core/spec.cpp ------------------------------------------*- C++ -*-===//
+
+#include "src/core/spec.h"
+
+#include "src/util/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+OutputSpec OutputSpec::argmaxWins(int64_t Target, int64_t NumClasses) {
+  OutputSpec Spec;
+  for (int64_t J = 0; J < NumClasses; ++J) {
+    if (J == Target)
+      continue;
+    Tensor Normal({1, NumClasses});
+    Normal[Target] = 1.0;
+    Normal[J] = -1.0;
+    Spec.addHalfspace(std::move(Normal), 0.0);
+  }
+  return Spec;
+}
+
+OutputSpec OutputSpec::attributeSign(int64_t Attr, bool Positive,
+                                     int64_t NumOutputs) {
+  Tensor Normal({1, NumOutputs});
+  Normal[Attr] = Positive ? 1.0 : -1.0;
+  return halfspace(std::move(Normal), 0.0);
+}
+
+OutputSpec OutputSpec::halfspace(Tensor Normal, double Offset) {
+  OutputSpec Spec;
+  Spec.addHalfspace(std::move(Normal), Offset);
+  return Spec;
+}
+
+void OutputSpec::addHalfspace(Tensor Normal, double Offset) {
+  check(Constraints.empty() ||
+            Constraints.front().Normal.numel() == Normal.numel(),
+        "halfspace dimension mismatch");
+  Constraints.push_back({Normal.reshaped({1, Normal.numel()}), Offset});
+}
+
+bool OutputSpec::satisfied(const Tensor &Y) const {
+  for (const auto &H : Constraints) {
+    double Value = H.Offset;
+    for (int64_t J = 0; J < H.Normal.numel(); ++J)
+      Value += H.Normal[J] * Y[J];
+    if (Value <= 0.0)
+      return false;
+  }
+  return true;
+}
+
+bool OutputSpec::boxContained(const Tensor &Center,
+                              const Tensor &Radius) const {
+  for (const auto &H : Constraints) {
+    double Min = H.Offset;
+    for (int64_t J = 0; J < H.Normal.numel(); ++J)
+      Min += H.Normal[J] * Center[J] - std::fabs(H.Normal[J]) * Radius[J];
+    if (Min <= 0.0)
+      return false;
+  }
+  return true;
+}
+
+bool OutputSpec::boxIntersects(const Tensor &Center,
+                               const Tensor &Radius) const {
+  for (const auto &H : Constraints) {
+    double Max = H.Offset;
+    for (int64_t J = 0; J < H.Normal.numel(); ++J)
+      Max += H.Normal[J] * Center[J] + std::fabs(H.Normal[J]) * Radius[J];
+    if (Max <= 0.0)
+      return false;
+  }
+  return true;
+}
+
+double curveMassInside(const Region &Curve, const OutputSpec &Spec,
+                       const std::function<double(double)> &Cdf) {
+  check(Curve.Kind == RegionKind::Curve, "curveMassInside on a box");
+  auto Eval = [&](double T) { return Cdf ? Cdf(T) : T; };
+  const double TotalMass = Eval(Curve.T1) - Eval(Curve.T0);
+  if (TotalMass <= 0.0)
+    return 0.0;
+
+  // Split at every constraint boundary; between cuts, satisfaction of each
+  // halfspace is constant (degree <= 2 polynomials change sign only at
+  // their roots).
+  std::vector<double> Cuts{Curve.T0, Curve.T1};
+  for (const auto &H : Spec.halfspaces())
+    curveFunctionalRoots(Curve, H.Normal, H.Offset, Cuts);
+  std::sort(Cuts.begin(), Cuts.end());
+
+  double Inside = 0.0;
+  for (size_t I = 0; I + 1 < Cuts.size(); ++I) {
+    const double T0 = Cuts[I], T1 = Cuts[I + 1];
+    if (T1 <= T0)
+      continue;
+    const Tensor Mid = evalCurve(Curve, 0.5 * (T0 + T1));
+    if (Spec.satisfied(Mid))
+      Inside += Eval(T1) - Eval(T0);
+  }
+  return Curve.Weight * Inside / TotalMass;
+}
+
+ProbBounds computeProbBounds(const std::vector<Region> &Regions,
+                             const OutputSpec &Spec,
+                             const std::function<double(double)> &Cdf) {
+  ProbBounds Bounds;
+  Bounds.Lower = 0.0;
+  Bounds.Upper = 0.0;
+  for (const auto &R : Regions) {
+    if (R.Kind == RegionKind::Curve) {
+      const double E = curveMassInside(R, Spec, Cdf);
+      Bounds.Lower += E;
+      Bounds.Upper += E;
+    } else {
+      if (Spec.boxContained(R.Center, R.Radius))
+        Bounds.Lower += R.Weight;
+      if (Spec.boxIntersects(R.Center, R.Radius))
+        Bounds.Upper += R.Weight;
+    }
+  }
+  Bounds.Lower = std::clamp(Bounds.Lower, 0.0, 1.0);
+  Bounds.Upper = std::clamp(Bounds.Upper, 0.0, 1.0);
+  return Bounds;
+}
+
+} // namespace genprove

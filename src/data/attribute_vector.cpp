@@ -1,0 +1,43 @@
+//===- data/attribute_vector.cpp ------------------------------*- C++ -*-===//
+
+#include "src/data/attribute_vector.h"
+
+#include "src/train/trainer.h"
+
+#include <algorithm>
+
+namespace genprove {
+
+Tensor attributeVector(Vae &Model, const Dataset &Set, int64_t AttrIndex) {
+  const int64_t Latent = Model.latentDim();
+  Tensor With({1, Latent}), Without({1, Latent});
+  int64_t NumWith = 0, NumWithout = 0;
+  const int64_t N = Set.numImages();
+  const int64_t Chunk = 128;
+  for (int64_t Start = 0; Start < N; Start += Chunk) {
+    const int64_t End = std::min(N, Start + Chunk);
+    std::vector<int64_t> Idx;
+    for (int64_t I = Start; I < End; ++I)
+      Idx.push_back(I);
+    const Tensor Z = Model.encode(gatherImages(Set, Idx));
+    for (size_t I = 0; I < Idx.size(); ++I) {
+      const bool Has = Set.Attributes.at(Idx[I], AttrIndex) > 0.5;
+      for (int64_t J = 0; J < Latent; ++J) {
+        if (Has)
+          With.at(0, J) += Z.at(static_cast<int64_t>(I), J);
+        else
+          Without.at(0, J) += Z.at(static_cast<int64_t>(I), J);
+      }
+      (Has ? NumWith : NumWithout) += 1;
+    }
+  }
+  check(NumWith > 0 && NumWithout > 0,
+        "attributeVector needs both positive and negative examples");
+  Tensor Direction({1, Latent});
+  for (int64_t J = 0; J < Latent; ++J)
+    Direction.at(0, J) = With.at(0, J) / static_cast<double>(NumWith) -
+                         Without.at(0, J) / static_cast<double>(NumWithout);
+  return Direction;
+}
+
+} // namespace genprove

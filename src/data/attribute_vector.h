@@ -1,0 +1,26 @@
+//===- data/attribute_vector.h - Latent attribute directions ---*- C++ -*-===//
+///
+/// \file
+/// Attribute vectors in the manner of Larsen et al. (2016): the latent
+/// direction for attribute i is the difference between the mean encoding of
+/// images with the attribute and without it. The paper uses these to build
+/// the attribute-independence (Table 5b) and curved (Table 5c)
+/// specifications ("BrownHair" addition, "Moustache" perturbation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DATA_ATTRIBUTE_VECTOR_H
+#define GENPROVE_DATA_ATTRIBUTE_VECTOR_H
+
+#include "src/data/dataset.h"
+#include "src/train/vae.h"
+
+namespace genprove {
+
+/// Mean latent of images with attribute \p AttrIndex minus the mean latent
+/// of images without it. Returns a [1, Latent] tensor.
+Tensor attributeVector(Vae &Model, const Dataset &Set, int64_t AttrIndex);
+
+} // namespace genprove
+
+#endif // GENPROVE_DATA_ATTRIBUTE_VECTOR_H

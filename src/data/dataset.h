@@ -1,0 +1,50 @@
+//===- data/dataset.h - Labeled image datasets -----------------*- C++ -*-===//
+///
+/// \file
+/// In-memory labeled image datasets. The paper evaluates on CelebA (40
+/// binary attributes), Zappos50k (21 shoe subcategories) and MNIST; those
+/// corpora are not available offline, so src/data synthesizes procedural
+/// substitutes with ground-truth attributes/classes by construction (see
+/// DESIGN.md, "Substitutions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DATA_DATASET_H
+#define GENPROVE_DATA_DATASET_H
+
+#include "src/tensor/tensor.h"
+
+#include <string>
+#include <vector>
+
+namespace genprove {
+
+/// A dataset of NCHW images with class labels and/or binary attributes.
+struct Dataset {
+  Tensor Images;                ///< [N, C, H, W], values in [0, 1].
+  std::vector<int64_t> Labels;  ///< class per image (classification sets).
+  Tensor Attributes;            ///< [N, A] entries in {0, 1} (attribute sets).
+  std::vector<std::string> AttributeNames;
+  std::vector<std::string> ClassNames;
+  int64_t Channels = 0;
+  int64_t Size = 0;
+
+  int64_t numImages() const { return Images.rank() ? Images.dim(0) : 0; }
+  int64_t numAttributes() const {
+    return Attributes.rank() == 2 ? Attributes.dim(1) : 0;
+  }
+  int64_t numClasses() const {
+    return static_cast<int64_t>(ClassNames.size());
+  }
+
+  /// One image as a [1, C, H, W] tensor.
+  Tensor image(int64_t Index) const;
+
+  /// The horizontal mirror of image \p Index as [1, C, H, W]; used by the
+  /// head-orientation specification.
+  Tensor flippedImage(int64_t Index) const;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_DATA_DATASET_H

@@ -1,0 +1,73 @@
+//===- data/synth_digits.cpp ----------------------------------*- C++ -*-===//
+
+#include "src/data/synth_digits.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+
+// Classic 5x7 font bitmaps, one row string per scanline.
+const char *DigitGlyphs[10][7] = {
+    {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "}, // 0
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}, // 1
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"}, // 2
+    {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "}, // 3
+    {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "}, // 4
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "}, // 5
+    {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "}, // 6
+    {"#####", "    #", "   # ", "  #  ", "  #  ", "  #  ", "  #  "}, // 7
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "}, // 8
+    {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "}, // 9
+};
+
+const char *DigitNames[10] = {"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"};
+
+} // namespace
+
+Tensor renderDigit(int64_t Digit, int64_t Size, Rng &Generator) {
+  Tensor Img({1, 1, Size, Size});
+  const double Scale = Generator.uniform(1.4, 1.9);
+  const double Ox = Generator.uniform(-1.5, 1.5) +
+                    (static_cast<double>(Size) - 5.0 * Scale) / 2.0;
+  const double Oy = Generator.uniform(-1.5, 1.5) +
+                    (static_cast<double>(Size) - 7.0 * Scale) / 2.0;
+  const double Ink = Generator.uniform(0.8, 1.0);
+
+  for (int64_t Y = 0; Y < Size; ++Y)
+    for (int64_t X = 0; X < Size; ++X) {
+      const double Gx = (static_cast<double>(X) - Ox) / Scale;
+      const double Gy = (static_cast<double>(Y) - Oy) / Scale;
+      const int64_t Cx = static_cast<int64_t>(std::floor(Gx));
+      const int64_t Cy = static_cast<int64_t>(std::floor(Gy));
+      if (Cx >= 0 && Cx < 5 && Cy >= 0 && Cy < 7 &&
+          DigitGlyphs[Digit][Cy][Cx] == '#')
+        Img.at(0, 0, Y, X) = Ink;
+    }
+
+  for (int64_t I = 0; I < Img.numel(); ++I)
+    Img[I] = std::clamp(Img[I] + Generator.normal(0.0, 0.02), 0.0, 1.0);
+  return Img;
+}
+
+Dataset makeSynthDigits(int64_t N, int64_t Size, uint64_t Seed) {
+  Rng Generator(Seed);
+  Dataset Set;
+  Set.Channels = 1;
+  Set.Size = Size;
+  Set.Images = Tensor({N, 1, Size, Size});
+  Set.Labels.resize(static_cast<size_t>(N));
+  Set.ClassNames.assign(DigitNames, DigitNames + 10);
+  for (int64_t I = 0; I < N; ++I) {
+    const int64_t Digit = static_cast<int64_t>(Generator.below(10));
+    const Tensor Img = renderDigit(Digit, Size, Generator);
+    std::copy(Img.data(), Img.data() + Img.numel(),
+              Set.Images.data() + I * Img.numel());
+    Set.Labels[static_cast<size_t>(I)] = Digit;
+  }
+  return Set;
+}
+
+} // namespace genprove

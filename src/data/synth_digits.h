@@ -1,0 +1,27 @@
+//===- data/synth_digits.h - Procedural MNIST substitute -------*- C++ -*-===//
+///
+/// \file
+/// SynthDigits renders jittered 5x7 glyph bitmaps of the digits 0-9 onto a
+/// grayscale canvas, standing in for MNIST in the Table 6 experiments
+/// (standard / FGSM / DiffAI training comparison).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DATA_SYNTH_DIGITS_H
+#define GENPROVE_DATA_SYNTH_DIGITS_H
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Render one digit (0-9) into a [1, 1, Size, Size] tensor with random
+/// shift, scale and noise.
+Tensor renderDigit(int64_t Digit, int64_t Size, Rng &Generator);
+
+/// Generate N labeled digits (uniform over 0-9).
+Dataset makeSynthDigits(int64_t N, int64_t Size, uint64_t Seed);
+
+} // namespace genprove
+
+#endif // GENPROVE_DATA_SYNTH_DIGITS_H

@@ -1,0 +1,199 @@
+//===- data/synth_faces.cpp -----------------------------------*- C++ -*-===//
+
+#include "src/data/synth_faces.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+
+/// dataset.h's shared image extraction helpers live here (single TU).
+const char *FaceAttrNames[NumFaceAttrs] = {
+    "Bald",      "Bangs",   "BlondHair",  "BrownHair", "Eyeglasses",
+    "Moustache", "Smiling", "WearingHat", "PaleSkin",  "Young",
+};
+
+struct Rgb {
+  double R, G, B;
+};
+
+void putPixel(Tensor &Img, int64_t Size, int64_t X, int64_t Y, Rgb Color,
+              double Alpha = 1.0) {
+  if (X < 0 || X >= Size || Y < 0 || Y >= Size)
+    return;
+  const double *Src[3] = {&Color.R, &Color.G, &Color.B};
+  for (int64_t C = 0; C < 3; ++C) {
+    double &Dst = Img.at(0, C, Y, X);
+    Dst = (1.0 - Alpha) * Dst + Alpha * *Src[C];
+  }
+}
+
+} // namespace
+
+FaceFactors sampleFaceFactors(Rng &Generator) {
+  FaceFactors F;
+  F.Pose = Generator.uniform(-1.0, 1.0);
+  F.Skin = Generator.uniform(0.35, 0.75);
+  F.Attr[FaceBald] = Generator.bernoulli(0.25);
+  if (!F.Attr[FaceBald]) {
+    // Hair color: blond, brown or dark (neither flag set).
+    const double U = Generator.uniform();
+    F.Attr[FaceBlondHair] = U < 0.35;
+    F.Attr[FaceBrownHair] = U >= 0.35 && U < 0.7;
+    F.Attr[FaceBangs] = Generator.bernoulli(0.3);
+  }
+  F.Attr[FaceEyeglasses] = Generator.bernoulli(0.3);
+  F.Attr[FaceMoustache] = Generator.bernoulli(0.25);
+  F.Attr[FaceSmiling] = Generator.bernoulli(0.5);
+  F.Attr[FaceWearingHat] = Generator.bernoulli(0.2);
+  F.Attr[FacePaleSkin] = Generator.bernoulli(0.3);
+  if (F.Attr[FacePaleSkin])
+    F.Skin = Generator.uniform(0.75, 0.92);
+  F.Attr[FaceYoung] = Generator.bernoulli(0.6);
+  return F;
+}
+
+Tensor renderFace(const FaceFactors &F, int64_t Size, Rng &Generator) {
+  Tensor Img({1, 3, Size, Size});
+  const double S = static_cast<double>(Size);
+
+  // Background: soft vertical gradient in a cool tone.
+  for (int64_t Y = 0; Y < Size; ++Y)
+    for (int64_t X = 0; X < Size; ++X) {
+      const double G = 0.15 + 0.1 * static_cast<double>(Y) / S;
+      putPixel(Img, Size, X, Y, {G * 0.8, G, G * 1.2});
+    }
+
+  const double Cx = S / 2.0 + F.Pose * S * 0.14; // pose shifts the head
+  const double Cy = S * 0.56;
+  const double Rx = S * 0.30;
+  const double Ry = S * 0.36;
+  const Rgb Skin = {F.Skin, F.Skin * 0.82, F.Skin * 0.66};
+  const Rgb Dark = {0.08, 0.07, 0.06};
+
+  // Head ellipse.
+  for (int64_t Y = 0; Y < Size; ++Y)
+    for (int64_t X = 0; X < Size; ++X) {
+      const double Dx = (static_cast<double>(X) - Cx) / Rx;
+      const double Dy = (static_cast<double>(Y) - Cy) / Ry;
+      if (Dx * Dx + Dy * Dy <= 1.0)
+        putPixel(Img, Size, X, Y, Skin);
+    }
+
+  // Hair: a cap over the top of the head unless bald.
+  if (!F.Attr[FaceBald]) {
+    Rgb Hair = {0.12, 0.1, 0.08}; // dark default
+    if (F.Attr[FaceBlondHair])
+      Hair = {0.85, 0.72, 0.3};
+    else if (F.Attr[FaceBrownHair])
+      Hair = {0.45, 0.27, 0.12};
+    const double HairBottom = Cy - Ry * (F.Attr[FaceBangs] ? 0.25 : 0.55);
+    for (int64_t Y = 0; Y < Size; ++Y)
+      for (int64_t X = 0; X < Size; ++X) {
+        const double Dx = (static_cast<double>(X) - Cx) / (Rx * 1.12);
+        const double Dy = (static_cast<double>(Y) - Cy) / (Ry * 1.12);
+        if (Dx * Dx + Dy * Dy <= 1.0 && static_cast<double>(Y) < HairBottom)
+          putPixel(Img, Size, X, Y, Hair);
+      }
+  }
+
+  // Hat: a flat band above the forehead, drawn over hair.
+  if (F.Attr[FaceWearingHat]) {
+    const int64_t HatTop = static_cast<int64_t>(Cy - Ry * 1.15);
+    const int64_t HatBottom = static_cast<int64_t>(Cy - Ry * 0.62);
+    for (int64_t Y = std::max<int64_t>(HatTop, 0); Y < HatBottom; ++Y)
+      for (int64_t X = static_cast<int64_t>(Cx - Rx * 1.2);
+           X <= static_cast<int64_t>(Cx + Rx * 1.2); ++X)
+        putPixel(Img, Size, X, Y, {0.55, 0.12, 0.12});
+  }
+
+  // Eyes (the looking direction tracks pose).
+  const int64_t EyeY = static_cast<int64_t>(Cy - Ry * 0.22);
+  const int64_t EyeLx = static_cast<int64_t>(Cx - Rx * 0.42 + F.Pose * 1.2);
+  const int64_t EyeRx = static_cast<int64_t>(Cx + Rx * 0.42 + F.Pose * 1.2);
+  putPixel(Img, Size, EyeLx, EyeY, Dark);
+  putPixel(Img, Size, EyeRx, EyeY, Dark);
+
+  // Eyeglasses: darker band across the eye row plus rims.
+  if (F.Attr[FaceEyeglasses]) {
+    for (int64_t X = EyeLx - 1; X <= EyeRx + 1; ++X)
+      putPixel(Img, Size, X, EyeY, {0.2, 0.2, 0.25}, 0.8);
+    putPixel(Img, Size, EyeLx, EyeY - 1, {0.2, 0.2, 0.25}, 0.7);
+    putPixel(Img, Size, EyeRx, EyeY - 1, {0.2, 0.2, 0.25}, 0.7);
+  }
+
+  // Moustache: short dark bar above the mouth.
+  const int64_t MouthY = static_cast<int64_t>(Cy + Ry * 0.42);
+  if (F.Attr[FaceMoustache])
+    for (int64_t X = static_cast<int64_t>(Cx - Rx * 0.35);
+         X <= static_cast<int64_t>(Cx + Rx * 0.35); ++X)
+      putPixel(Img, Size, X, MouthY - 1, {0.15, 0.1, 0.08});
+
+  // Mouth: bright if smiling, thin neutral line otherwise.
+  const Rgb Mouth = F.Attr[FaceSmiling] ? Rgb{0.85, 0.25, 0.3}
+                                        : Rgb{0.4, 0.2, 0.2};
+  const int64_t MouthHalf =
+      F.Attr[FaceSmiling] ? static_cast<int64_t>(Rx * 0.45)
+                          : static_cast<int64_t>(Rx * 0.25);
+  for (int64_t X = static_cast<int64_t>(Cx) - MouthHalf;
+       X <= static_cast<int64_t>(Cx) + MouthHalf; ++X) {
+    putPixel(Img, Size, X, MouthY, Mouth);
+    if (F.Attr[FaceSmiling] &&
+        std::llabs(X - static_cast<int64_t>(Cx)) == MouthHalf)
+      putPixel(Img, Size, X, MouthY - 1, Mouth, 0.8);
+  }
+
+  // Age cue: "young" adds a subtle cheek highlight.
+  if (F.Attr[FaceYoung]) {
+    putPixel(Img, Size, static_cast<int64_t>(Cx - Rx * 0.5),
+             static_cast<int64_t>(Cy + Ry * 0.1), {0.95, 0.6, 0.55}, 0.5);
+    putPixel(Img, Size, static_cast<int64_t>(Cx + Rx * 0.5),
+             static_cast<int64_t>(Cy + Ry * 0.1), {0.95, 0.6, 0.55}, 0.5);
+  }
+
+  // Sensor noise.
+  for (int64_t I = 0; I < Img.numel(); ++I)
+    Img[I] = std::clamp(Img[I] + Generator.normal(0.0, 0.015), 0.0, 1.0);
+  return Img;
+}
+
+Dataset makeSynthFaces(int64_t N, int64_t Size, uint64_t Seed) {
+  Rng Generator(Seed);
+  Dataset Set;
+  Set.Channels = 3;
+  Set.Size = Size;
+  Set.Images = Tensor({N, 3, Size, Size});
+  Set.Attributes = Tensor({N, static_cast<int64_t>(NumFaceAttrs)});
+  Set.AttributeNames.assign(FaceAttrNames, FaceAttrNames + NumFaceAttrs);
+  for (int64_t I = 0; I < N; ++I) {
+    const FaceFactors F = sampleFaceFactors(Generator);
+    const Tensor Img = renderFace(F, Size, Generator);
+    std::copy(Img.data(), Img.data() + Img.numel(),
+              Set.Images.data() + I * Img.numel());
+    for (int64_t A = 0; A < NumFaceAttrs; ++A)
+      Set.Attributes.at(I, A) = F.Attr[A] ? 1.0 : 0.0;
+  }
+  return Set;
+}
+
+Tensor Dataset::image(int64_t Index) const {
+  const int64_t Numel = Channels * Size * Size;
+  Tensor Img({1, Channels, Size, Size});
+  std::copy(Images.data() + Index * Numel, Images.data() + (Index + 1) * Numel,
+            Img.data());
+  return Img;
+}
+
+Tensor Dataset::flippedImage(int64_t Index) const {
+  Tensor Img = image(Index);
+  Tensor Out({1, Channels, Size, Size});
+  for (int64_t C = 0; C < Channels; ++C)
+    for (int64_t Y = 0; Y < Size; ++Y)
+      for (int64_t X = 0; X < Size; ++X)
+        Out.at(0, C, Y, X) = Img.at(0, C, Y, Size - 1 - X);
+  return Out;
+}
+
+} // namespace genprove

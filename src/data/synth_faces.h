@@ -1,0 +1,54 @@
+//===- data/synth_faces.h - Procedural CelebA substitute -------*- C++ -*-===//
+///
+/// \file
+/// SynthFaces renders small face-like images with ground-truth binary
+/// attributes (bald, blond/brown hair, eyeglasses, moustache, smiling, hat,
+/// pale skin, bangs, young) plus a continuous pose factor. Flipping an
+/// image horizontally mirrors the pose, which is what the paper's
+/// head-orientation specification interpolates over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DATA_SYNTH_FACES_H
+#define GENPROVE_DATA_SYNTH_FACES_H
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Attribute indices of the SynthFaces dataset.
+enum SynthFaceAttr : int64_t {
+  FaceBald = 0,
+  FaceBangs,
+  FaceBlondHair,
+  FaceBrownHair,
+  FaceEyeglasses,
+  FaceMoustache,
+  FaceSmiling,
+  FaceWearingHat,
+  FacePaleSkin,
+  FaceYoung,
+  NumFaceAttrs,
+};
+
+/// Continuous generative factors behind one rendered face.
+struct FaceFactors {
+  double Pose = 0.0; ///< [-1, 1]; horizontal head orientation.
+  double Skin = 0.5; ///< skin tone in [0, 1].
+  bool Attr[NumFaceAttrs] = {};
+};
+
+/// Sample random factors (with consistent attribute co-occurrence: blond
+/// and brown hair are mutually exclusive; bald implies neither).
+FaceFactors sampleFaceFactors(Rng &Generator);
+
+/// Render one face into a [1, 3, Size, Size] tensor.
+Tensor renderFace(const FaceFactors &Factors, int64_t Size, Rng &Generator);
+
+/// Generate a full dataset of N faces at the given resolution.
+Dataset makeSynthFaces(int64_t N, int64_t Size, uint64_t Seed);
+
+} // namespace genprove
+
+#endif // GENPROVE_DATA_SYNTH_FACES_H

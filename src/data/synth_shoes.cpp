@@ -1,0 +1,152 @@
+//===- data/synth_shoes.cpp -----------------------------------*- C++ -*-===//
+
+#include "src/data/synth_shoes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+
+const char *ShoeClassNames[NumShoeClasses] = {
+    "Sneaker", "Boot",    "Sandal", "Heel",
+    "Loafer",  "Slipper", "Oxford", "FlipFlop",
+};
+
+void blend(Tensor &Img, int64_t Size, int64_t X, int64_t Y, double R, double G,
+           double B, double Alpha = 1.0) {
+  if (X < 0 || X >= Size || Y < 0 || Y >= Size)
+    return;
+  Img.at(0, 0, Y, X) = (1 - Alpha) * Img.at(0, 0, Y, X) + Alpha * R;
+  Img.at(0, 1, Y, X) = (1 - Alpha) * Img.at(0, 1, Y, X) + Alpha * G;
+  Img.at(0, 2, Y, X) = (1 - Alpha) * Img.at(0, 2, Y, X) + Alpha * B;
+}
+
+} // namespace
+
+Tensor renderShoe(SynthShoeClass Class, int64_t Size, Rng &Generator) {
+  Tensor Img({1, 3, Size, Size});
+  const double S = static_cast<double>(Size);
+
+  // Neutral studio background (Zappos images are on white).
+  for (int64_t I = 0; I < Img.numel(); ++I)
+    Img[I] = 0.92;
+
+  // Base body color; jitter per item.
+  const double Hue = Generator.uniform();
+  const double R = 0.25 + 0.5 * Hue;
+  const double G = 0.2 + 0.4 * (1.0 - Hue);
+  const double B = 0.2 + 0.4 * std::fabs(Hue - 0.5);
+  const double Jx = Generator.uniform(-1.0, 1.0); // horizontal jitter
+  const double SoleY = S * 0.78 + Generator.uniform(-0.5, 0.5);
+
+  auto Body = [&](double X0, double X1, double Y0, double Y1, double Alpha) {
+    for (int64_t Y = static_cast<int64_t>(Y0); Y <= static_cast<int64_t>(Y1);
+         ++Y)
+      for (int64_t X = static_cast<int64_t>(X0 + Jx);
+           X <= static_cast<int64_t>(X1 + Jx); ++X)
+        blend(Img, Size, X, Y, R, G, B, Alpha);
+  };
+  auto Sole = [&](double X0, double X1, double Thickness) {
+    for (int64_t Y = static_cast<int64_t>(SoleY);
+         Y <= static_cast<int64_t>(SoleY + Thickness); ++Y)
+      for (int64_t X = static_cast<int64_t>(X0 + Jx);
+           X <= static_cast<int64_t>(X1 + Jx); ++X)
+        blend(Img, Size, X, Y, 0.15, 0.13, 0.12);
+  };
+
+  switch (Class) {
+  case ShoeSneaker: // low rounded body, thick pale sole, laces
+    Body(S * 0.15, S * 0.85, SoleY - S * 0.25, SoleY, 1.0);
+    for (int64_t X = static_cast<int64_t>(S * 0.35);
+         X <= static_cast<int64_t>(S * 0.6); X += 2)
+      blend(Img, Size, X, static_cast<int64_t>(SoleY - S * 0.2), 0.95, 0.95,
+            0.95);
+    Sole(S * 0.12, S * 0.88, S * 0.1);
+    break;
+  case ShoeBoot: // tall shaft
+    Body(S * 0.3, S * 0.62, S * 0.18, SoleY, 1.0);
+    Body(S * 0.3, S * 0.88, SoleY - S * 0.2, SoleY, 1.0);
+    Sole(S * 0.28, S * 0.9, S * 0.08);
+    break;
+  case ShoeSandal: // open straps
+    Body(S * 0.15, S * 0.85, SoleY - S * 0.08, SoleY, 1.0);
+    for (int64_t X = static_cast<int64_t>(S * 0.25);
+         X <= static_cast<int64_t>(S * 0.75); X += 3)
+      for (int64_t Y = static_cast<int64_t>(SoleY - S * 0.3);
+           Y < static_cast<int64_t>(SoleY); ++Y)
+        blend(Img, Size, X, Y, R, G, B, 0.9);
+    Sole(S * 0.12, S * 0.88, S * 0.05);
+    break;
+  case ShoeHeel: // wedge with a thin spike at the back
+    Body(S * 0.2, S * 0.8, SoleY - S * 0.18, SoleY - S * 0.06, 1.0);
+    for (int64_t Y = static_cast<int64_t>(SoleY - S * 0.06);
+         Y <= static_cast<int64_t>(SoleY + S * 0.12); ++Y)
+      blend(Img, Size, static_cast<int64_t>(S * 0.25 + Jx), Y, 0.15, 0.12,
+            0.12);
+    Sole(S * 0.6, S * 0.85, S * 0.03);
+    break;
+  case ShoeLoafer: // low profile, no laces, strap accent
+    Body(S * 0.18, S * 0.82, SoleY - S * 0.18, SoleY, 1.0);
+    for (int64_t X = static_cast<int64_t>(S * 0.4);
+         X <= static_cast<int64_t>(S * 0.55); ++X)
+      blend(Img, Size, X, static_cast<int64_t>(SoleY - S * 0.16), 0.1, 0.1,
+            0.1);
+    Sole(S * 0.16, S * 0.84, S * 0.04);
+    break;
+  case ShoeSlipper: // soft rounded body, fuzzy texture dots
+    Body(S * 0.2, S * 0.8, SoleY - S * 0.22, SoleY, 0.9);
+    for (int64_t I = 0; I < 12; ++I)
+      blend(Img, Size,
+            static_cast<int64_t>(Generator.uniform(S * 0.25, S * 0.75)),
+            static_cast<int64_t>(
+                Generator.uniform(SoleY - S * 0.2, SoleY - S * 0.05)),
+            0.98, 0.98, 0.98, 0.7);
+    break;
+  case ShoeOxford: // formal: dark body, toe cap line
+    Body(S * 0.15, S * 0.85, SoleY - S * 0.2, SoleY, 1.0);
+    for (int64_t Y = static_cast<int64_t>(SoleY - S * 0.2);
+         Y < static_cast<int64_t>(SoleY); ++Y)
+      blend(Img, Size, static_cast<int64_t>(S * 0.65 + Jx), Y, 0.05, 0.05,
+            0.05);
+    Sole(S * 0.13, S * 0.87, S * 0.06);
+    break;
+  case ShoeFlipFlop: // flat sole with a V strap
+    Sole(S * 0.15, S * 0.85, S * 0.06);
+    for (int64_t K = 0; K < static_cast<int64_t>(S * 0.25); ++K) {
+      blend(Img, Size, static_cast<int64_t>(S * 0.5 + Jx - K),
+            static_cast<int64_t>(SoleY - K), R, G, B);
+      blend(Img, Size, static_cast<int64_t>(S * 0.5 + Jx + K),
+            static_cast<int64_t>(SoleY - K), R, G, B);
+    }
+    break;
+  default:
+    break;
+  }
+
+  for (int64_t I = 0; I < Img.numel(); ++I)
+    Img[I] = std::clamp(Img[I] + Generator.normal(0.0, 0.015), 0.0, 1.0);
+  return Img;
+}
+
+Dataset makeSynthShoes(int64_t N, int64_t Size, uint64_t Seed) {
+  Rng Generator(Seed);
+  Dataset Set;
+  Set.Channels = 3;
+  Set.Size = Size;
+  Set.Images = Tensor({N, 3, Size, Size});
+  Set.Labels.resize(static_cast<size_t>(N));
+  Set.ClassNames.assign(ShoeClassNames, ShoeClassNames + NumShoeClasses);
+  for (int64_t I = 0; I < N; ++I) {
+    const auto Class =
+        static_cast<SynthShoeClass>(Generator.below(NumShoeClasses));
+    const Tensor Img = renderShoe(Class, Size, Generator);
+    std::copy(Img.data(), Img.data() + Img.numel(),
+              Set.Images.data() + I * Img.numel());
+    Set.Labels[static_cast<size_t>(I)] = Class;
+  }
+  return Set;
+}
+
+} // namespace genprove

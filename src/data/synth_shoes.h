@@ -1,0 +1,39 @@
+//===- data/synth_shoes.h - Procedural Zappos50k substitute ----*- C++ -*-===//
+///
+/// \file
+/// SynthShoes renders 16x16x3 shoe silhouettes in 8 subcategories (the
+/// paper's Zappos50k has 21; the structure of the consistency specification
+/// — interpolating between two same-class items — is identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DATA_SYNTH_SHOES_H
+#define GENPROVE_DATA_SYNTH_SHOES_H
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Shoe subcategories.
+enum SynthShoeClass : int64_t {
+  ShoeSneaker = 0,
+  ShoeBoot,
+  ShoeSandal,
+  ShoeHeel,
+  ShoeLoafer,
+  ShoeSlipper,
+  ShoeOxford,
+  ShoeFlipFlop,
+  NumShoeClasses,
+};
+
+/// Render one shoe of the given class into a [1, 3, Size, Size] tensor.
+Tensor renderShoe(SynthShoeClass Class, int64_t Size, Rng &Generator);
+
+/// Generate N labeled shoes (classes drawn uniformly).
+Dataset makeSynthShoes(int64_t N, int64_t Size, uint64_t Seed);
+
+} // namespace genprove
+
+#endif // GENPROVE_DATA_SYNTH_SHOES_H

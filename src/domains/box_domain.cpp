@@ -1,0 +1,59 @@
+//===- domains/box_domain.cpp ---------------------------------*- C++ -*-===//
+
+#include "src/domains/box_domain.h"
+
+#include "src/domains/propagate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+std::vector<ConvexResult>
+analyzeBoxMulti(const std::vector<const Layer *> &Layers,
+                const Shape &InputShape, const Tensor &Start,
+                const Tensor &End, const std::vector<OutputSpec> &Specs,
+                DeviceMemoryModel &Memory) {
+  const int64_t N = Start.numel();
+  Tensor Center({1, N}), Radius({1, N});
+  for (int64_t J = 0; J < N; ++J) {
+    Center[J] = 0.5 * (Start[J] + End[J]);
+    Radius[J] = 0.5 * std::fabs(End[J] - Start[J]);
+  }
+  std::vector<Region> Init;
+  Init.push_back(makeBoxRegion(Center, Radius, 1.0));
+
+  PropagateConfig Config;
+  Config.EnableRelax = false;
+  PropagateStats Stats;
+  const std::vector<Region> Final =
+      propagateRegions(Layers, InputShape, std::move(Init), Config, Memory,
+                       Stats);
+
+  ConvexResult Result;
+  Result.PeakBytes = Memory.peakBytes();
+  Result.MaxGenerators = 0;
+  std::vector<ConvexResult> Results;
+  Results.reserve(Specs.size());
+  for (const OutputSpec &Spec : Specs) {
+    ConvexResult PerSpec = Result;
+    if (Stats.OutOfMemory) {
+      PerSpec.Bounds = {0.0, 1.0, true};
+    } else {
+      // Lifted convex semantics: only certain containment / disjointness.
+      PerSpec.Bounds = computeProbBounds(Final, Spec).deterministic();
+    }
+    Results.push_back(std::move(PerSpec));
+  }
+  return Results;
+}
+
+ConvexResult analyzeBox(const std::vector<const Layer *> &Layers,
+                        const Shape &InputShape, const Tensor &Start,
+                        const Tensor &End, const OutputSpec &Spec,
+                        DeviceMemoryModel &Memory) {
+  return analyzeBoxMulti(Layers, InputShape, Start, End, {Spec}, Memory)
+      .front();
+}
+
+} // namespace genprove

@@ -1,0 +1,139 @@
+//===- domains/hybrid_zonotope.cpp ----------------------------*- C++ -*-===//
+
+#include "src/domains/hybrid_zonotope.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+
+Tensor reshapeRows(const Tensor &Rows, const Shape &SampleShape) {
+  std::vector<int64_t> Dims = SampleShape.dims();
+  Dims[0] = Rows.dim(0);
+  return Rows.reshaped(Shape(Dims));
+}
+
+Tensor flattenRows(const Tensor &Acts) {
+  const int64_t K = Acts.dim(0);
+  return Acts.reshaped({K, Acts.numel() / std::max<int64_t>(K, 1)});
+}
+
+} // namespace
+
+std::vector<ConvexResult> analyzeHybridZonotopeMulti(
+    const std::vector<const Layer *> &Layers, const Shape &InputShape,
+    const Tensor &Start, const Tensor &End,
+    const std::vector<OutputSpec> &Specs, DeviceMemoryModel &Memory) {
+  ConvexResult Result;
+  const int64_t N = Start.numel();
+  Tensor Center({1, N});
+  Tensor Gens({1, N});
+  Tensor Slack({1, N}); // per-dimension box error
+  for (int64_t J = 0; J < N; ++J) {
+    Center[J] = 0.5 * (Start[J] + End[J]);
+    Gens.at(0, J) = 0.5 * (End[J] - Start[J]);
+  }
+
+  Shape CurShape = InputShape;
+  auto Charge = [&]() {
+    Result.MaxGenerators = std::max(Result.MaxGenerators, Gens.dim(0));
+    const bool Ok = Memory.chargeState(Gens.dim(0) + 2, CurShape.numel());
+    Result.PeakBytes = Memory.peakBytes();
+    return Ok;
+  };
+  auto OomResults = [&]() {
+    Result.Bounds = {0.0, 1.0, true};
+    return std::vector<ConvexResult>(Specs.size(), Result);
+  };
+  if (!Charge())
+    return OomResults();
+
+  for (const Layer *L : Layers) {
+    if (L->isAffine()) {
+      // Slack propagates like a box radius; reuse applyToBox with a dummy
+      // center so the bias does not leak into the slack.
+      Tensor SlackCenter = Center.clone();
+      Tensor SlackActs = reshapeRows(Slack, CurShape);
+      Tensor CenterActs = reshapeRows(SlackCenter, CurShape);
+      L->applyToBox(CenterActs, SlackActs);
+      Center = flattenRows(CenterActs);
+      Slack = flattenRows(SlackActs);
+      Gens = flattenRows(L->applyLinear(reshapeRows(Gens, CurShape)));
+      CurShape = L->outputShape(CurShape);
+    } else {
+      const int64_t Dim = Center.numel();
+      const int64_t G = Gens.dim(0);
+      for (int64_t J = 0; J < Dim; ++J) {
+        double Spread = Slack[J];
+        for (int64_t Row = 0; Row < G; ++Row)
+          Spread += std::fabs(Gens.at(Row, J));
+        const double Lo = Center[J] - Spread;
+        const double Hi = Center[J] + Spread;
+        if (Hi <= 0.0) {
+          Center[J] = 0.0;
+          Slack[J] = 0.0;
+          for (int64_t Row = 0; Row < G; ++Row)
+            Gens.at(Row, J) = 0.0;
+        } else if (Lo < 0.0) {
+          const double Lambda = Hi / (Hi - Lo);
+          const double Mu = -Lambda * Lo / 2.0;
+          Center[J] = Lambda * Center[J] + Mu;
+          Slack[J] = Lambda * Slack[J] + Mu; // error absorbed by the box
+          for (int64_t Row = 0; Row < G; ++Row)
+            Gens.at(Row, J) *= Lambda;
+        }
+      }
+    }
+    if (!Charge())
+      return OomResults();
+  }
+
+  // Spec tests including the box slack.
+  std::vector<ConvexResult> Results;
+  Results.reserve(Specs.size());
+  for (const OutputSpec &Spec : Specs) {
+    bool Contained = true;
+    bool Intersects = true;
+    for (const auto &H : Spec.halfspaces()) {
+      double Mid = H.Offset;
+      double Spread = 0.0;
+      for (int64_t J = 0; J < H.Normal.numel(); ++J) {
+        Mid += H.Normal[J] * Center[J];
+        Spread += std::fabs(H.Normal[J]) * Slack[J];
+      }
+      for (int64_t Row = 0; Row < Gens.dim(0); ++Row) {
+        double Dot = 0.0;
+        for (int64_t J = 0; J < Gens.dim(1); ++J)
+          Dot += H.Normal[J] * Gens.at(Row, J);
+        Spread += std::fabs(Dot);
+      }
+      if (Mid - Spread <= 0.0)
+        Contained = false;
+      if (Mid + Spread <= 0.0)
+        Intersects = false;
+    }
+    ConvexResult PerSpec = Result;
+    if (Contained)
+      PerSpec.Bounds = {1.0, 1.0, false};
+    else if (!Intersects)
+      PerSpec.Bounds = {0.0, 0.0, false};
+    else
+      PerSpec.Bounds = {0.0, 1.0, false};
+    Results.push_back(std::move(PerSpec));
+  }
+  return Results;
+}
+
+ConvexResult analyzeHybridZonotope(const std::vector<const Layer *> &Layers,
+                                   const Shape &InputShape,
+                                   const Tensor &Start, const Tensor &End,
+                                   const OutputSpec &Spec,
+                                   DeviceMemoryModel &Memory) {
+  return analyzeHybridZonotopeMulti(Layers, InputShape, Start, End, {Spec},
+                                    Memory)
+      .front();
+}
+
+} // namespace genprove

@@ -1,0 +1,241 @@
+//===- domains/propagate.cpp ----------------------------------*- C++ -*-===//
+
+#include "src/domains/propagate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+
+double evalCdf(const ParamCdf &Cdf, double T) { return Cdf ? Cdf(T) : T; }
+
+/// Reshape a flat [K, N] row batch to the layer activation shape
+/// [K, ...SampleShape[1:]].
+Tensor rowsToActivations(const Tensor &Rows, const Shape &SampleShape) {
+  std::vector<int64_t> Dims = SampleShape.dims();
+  Dims[0] = Rows.dim(0);
+  return Rows.reshaped(Shape(Dims));
+}
+
+/// Flatten an activation batch back to [K, N].
+Tensor activationsToRows(const Tensor &Acts) {
+  const int64_t K = Acts.dim(0);
+  return Acts.reshaped({K, Acts.numel() / std::max<int64_t>(K, 1)});
+}
+
+/// Apply one affine layer to every region in place (exact for curves,
+/// interval arithmetic for boxes), batching all rows of a kind into a
+/// single layer application.
+void applyAffineLayer(const Layer &L, const Shape &InShape,
+                      std::vector<Region> &Regions) {
+  // Gather constant rows (curve a0) for the affine map and higher-degree
+  // rows for the linear map.
+  int64_t NumA0 = 0, NumHi = 0, NumBoxes = 0;
+  for (const auto &R : Regions) {
+    if (R.Kind == RegionKind::Curve) {
+      NumA0 += 1;
+      NumHi += R.degree();
+    } else {
+      NumBoxes += 1;
+    }
+  }
+  const int64_t N =
+      Regions.empty() ? 0 : Regions.front().dim();
+  if (Regions.empty())
+    return;
+
+  Tensor A0Rows({std::max<int64_t>(NumA0, 1), N});
+  Tensor HiRows({std::max<int64_t>(NumHi, 1), N});
+  Tensor Centers({std::max<int64_t>(NumBoxes, 1), N});
+  Tensor Radii({std::max<int64_t>(NumBoxes, 1), N});
+
+  int64_t IA0 = 0, IHi = 0, IBox = 0;
+  for (const auto &R : Regions) {
+    if (R.Kind == RegionKind::Curve) {
+      std::copy(R.Coeffs.data(), R.Coeffs.data() + N,
+                A0Rows.data() + IA0 * N);
+      ++IA0;
+      for (int64_t D = 1; D <= R.degree(); ++D) {
+        std::copy(R.Coeffs.data() + D * N, R.Coeffs.data() + (D + 1) * N,
+                  HiRows.data() + IHi * N);
+        ++IHi;
+      }
+    } else {
+      std::copy(R.Center.data(), R.Center.data() + N,
+                Centers.data() + IBox * N);
+      std::copy(R.Radius.data(), R.Radius.data() + N,
+                Radii.data() + IBox * N);
+      ++IBox;
+    }
+  }
+
+  Tensor NewA0, NewHi, NewCenters, NewRadii;
+  if (NumA0 > 0)
+    NewA0 = activationsToRows(
+        L.applyAffine(rowsToActivations(A0Rows, InShape)));
+  if (NumHi > 0)
+    NewHi = activationsToRows(
+        L.applyLinear(rowsToActivations(HiRows, InShape)));
+  if (NumBoxes > 0) {
+    Tensor C = rowsToActivations(Centers, InShape);
+    Tensor Rr = rowsToActivations(Radii, InShape);
+    L.applyToBox(C, Rr);
+    NewCenters = activationsToRows(C);
+    NewRadii = activationsToRows(Rr);
+  }
+
+  const int64_t OutN = NumA0 > 0   ? NewA0.dim(1)
+                       : NumBoxes > 0 ? NewCenters.dim(1)
+                                      : N;
+  IA0 = IHi = IBox = 0;
+  for (auto &R : Regions) {
+    if (R.Kind == RegionKind::Curve) {
+      const int64_t Degree = R.degree();
+      Tensor Coeffs({Degree + 1, OutN});
+      std::copy(NewA0.data() + IA0 * OutN, NewA0.data() + (IA0 + 1) * OutN,
+                Coeffs.data());
+      ++IA0;
+      for (int64_t D = 1; D <= Degree; ++D) {
+        std::copy(NewHi.data() + IHi * OutN, NewHi.data() + (IHi + 1) * OutN,
+                  Coeffs.data() + D * OutN);
+        ++IHi;
+      }
+      R.Coeffs = std::move(Coeffs);
+    } else {
+      Tensor C({1, OutN}), Rr({1, OutN});
+      std::copy(NewCenters.data() + IBox * OutN,
+                NewCenters.data() + (IBox + 1) * OutN, C.data());
+      std::copy(NewRadii.data() + IBox * OutN,
+                NewRadii.data() + (IBox + 1) * OutN, Rr.data());
+      R.Center = std::move(C);
+      R.Radius = std::move(Rr);
+      ++IBox;
+    }
+  }
+}
+
+/// Interval ReLU on a box region, in place.
+void reluBox(Region &Box) {
+  const int64_t N = Box.dim();
+  for (int64_t J = 0; J < N; ++J) {
+    const double Lo = std::max(Box.Center[J] - Box.Radius[J], 0.0);
+    const double Hi = std::max(Box.Center[J] + Box.Radius[J], 0.0);
+    Box.Center[J] = 0.5 * (Lo + Hi);
+    Box.Radius[J] = 0.5 * (Hi - Lo);
+  }
+}
+
+/// Exact ReLU on a curve region: split at every component zero crossing,
+/// then mask each piece by the per-component sign at its midpoint.
+void reluCurve(const Region &Curve, const PropagateConfig &Config,
+               std::vector<Region> &Out, PropagateStats &Stats) {
+  const int64_t N = Curve.dim();
+  std::vector<double> Cuts;
+  Cuts.push_back(Curve.T0);
+  Cuts.push_back(Curve.T1);
+  for (int64_t J = 0; J < N; ++J)
+    curveComponentRoots(Curve, J, Cuts);
+  std::sort(Cuts.begin(), Cuts.end());
+  Cuts.erase(std::unique(Cuts.begin(), Cuts.end(),
+                         [&](double A, double B) {
+                           return B - A < Config.SplitEps;
+                         }),
+             Cuts.end());
+  // Guard the boundaries after deduplication: never lose the piece.
+  if (Cuts.size() == 1)
+    Cuts.push_back(Curve.T1);
+  Cuts.front() = Curve.T0;
+  Cuts.back() = Curve.T1;
+
+  const int64_t Degree = Curve.degree();
+  for (size_t I = 0; I + 1 < Cuts.size(); ++I) {
+    const double T0 = Cuts[I];
+    const double T1 = Cuts[I + 1];
+    const double Tm = 0.5 * (T0 + T1);
+    Region Piece;
+    Piece.Kind = RegionKind::Curve;
+    Piece.T0 = T0;
+    Piece.T1 = T1;
+    Piece.Weight = evalCdf(Config.Cdf, T1) - evalCdf(Config.Cdf, T0);
+    Piece.Coeffs = Tensor({Degree + 1, N});
+    for (int64_t J = 0; J < N; ++J) {
+      if (evalCurveComponent(Curve, Tm, J) > 0.0)
+        for (int64_t D = 0; D <= Degree; ++D)
+          Piece.Coeffs.at(D, J) = Curve.Coeffs.at(D, J);
+      // else: all coefficients stay zero — the component is clamped.
+    }
+    Out.push_back(std::move(Piece));
+  }
+  Stats.NumSplits += static_cast<int64_t>(Cuts.size()) - 2;
+}
+
+} // namespace
+
+std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
+                                     const Shape &InputShape,
+                                     std::vector<Region> Regions,
+                                     const PropagateConfig &Config,
+                                     DeviceMemoryModel &Memory,
+                                     PropagateStats &Stats) {
+  Shape CurShape = InputShape;
+  if (!Memory.chargeState(totalNodes(Regions),
+                          Regions.empty() ? 0 : Regions.front().dim())) {
+    Stats.OutOfMemory = true;
+    return {};
+  }
+
+  for (const Layer *L : Layers) {
+    // Relaxation fires right before convolutional layers (Section 3.1).
+    const bool IsConvolutional = L->kind() == Layer::Kind::Conv2d ||
+                                 L->kind() == Layer::Kind::ConvTranspose2d;
+    if (Config.EnableRelax && IsConvolutional) {
+      const int64_t Before = static_cast<int64_t>(Regions.size());
+      relaxRegions(Regions, Config.Relax);
+      Stats.NumBoxed += Before - static_cast<int64_t>(Regions.size());
+    }
+
+    if (L->isAffine()) {
+      applyAffineLayer(*L, CurShape, Regions);
+      CurShape = L->outputShape(CurShape);
+    } else {
+      std::vector<Region> Next;
+      Next.reserve(Regions.size());
+      int64_t RunningNodes = 0;
+      for (auto &R : Regions) {
+        const size_t Before = Next.size();
+        if (R.Kind == RegionKind::Box) {
+          reluBox(R);
+          RunningNodes += 2;
+          Next.push_back(std::move(R));
+        } else {
+          const int64_t NodesPerPiece = R.degree() + 1;
+          reluCurve(R, Config, Next, Stats);
+          RunningNodes +=
+              static_cast<int64_t>(Next.size() - Before) * NodesPerPiece;
+        }
+        // Charge incrementally: ReLU splitting can blow the state up
+        // mid-layer, and waiting until the layer finishes would let the
+        // host allocation far exceed the simulated device budget.
+        if (!Memory.chargeState(RunningNodes, CurShape.numel())) {
+          Stats.OutOfMemory = true;
+          return {};
+        }
+      }
+      Regions = std::move(Next);
+    }
+
+    Stats.MaxRegions =
+        std::max(Stats.MaxRegions, static_cast<int64_t>(Regions.size()));
+    const int64_t Nodes = totalNodes(Regions);
+    Stats.MaxNodes = std::max(Stats.MaxNodes, Nodes);
+    if (!Memory.chargeState(Nodes, CurShape.numel())) {
+      Stats.OutOfMemory = true;
+      return {};
+    }
+  }
+  return Regions;
+}
+
+} // namespace genprove

@@ -1,0 +1,70 @@
+//===- domains/propagate.h - GenProve propagation engine -------*- C++ -*-===//
+///
+/// \file
+/// The propagation engine behind both deterministic and probabilistic
+/// GenProve (the paper's Algorithm 1, generalized from line segments to
+/// degree-<=2 parametric curves):
+///
+///  * affine layers map curve coefficients exactly (bias to the constant
+///    row, linear part to the others) and boxes by interval arithmetic;
+///  * ReLU layers split every curve at the component zero crossings inside
+///    its parameter interval and apply the per-piece sign mask, which is
+///    exact; boxes go through interval ReLU;
+///  * before each convolutional layer, the Section 3.1 relaxation heuristic
+///    may replace runs of short pieces with weighted bounding boxes;
+///  * after every layer the abstract state is charged to the simulated
+///    device memory model; exceeding the budget aborts with OOM, exactly
+///    the failure mode the paper's Tables 3 and 8 report.
+///
+/// Weights of curve pieces are recomputed from the input-parameter CDF
+/// (uniform by default, arcsine for the Table 7 specification), which keeps
+/// probabilistic splitting exact; boxes freeze the mass of whatever they
+/// replaced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DOMAINS_PROPAGATE_H
+#define GENPROVE_DOMAINS_PROPAGATE_H
+
+#include "src/domains/memory_model.h"
+#include "src/domains/region.h"
+#include "src/domains/relaxation.h"
+#include "src/nn/sequential.h"
+
+#include <functional>
+
+namespace genprove {
+
+/// Cumulative distribution function of the input parameter on [0, 1].
+using ParamCdf = std::function<double(double)>;
+
+/// Engine configuration.
+struct PropagateConfig {
+  RelaxConfig Relax;
+  bool EnableRelax = true;
+  ParamCdf Cdf;             ///< empty = uniform (identity CDF).
+  double SplitEps = 1e-9;   ///< minimum gap between split points.
+};
+
+/// Engine telemetry for the scalability tables.
+struct PropagateStats {
+  int64_t MaxRegions = 0;
+  int64_t MaxNodes = 0;
+  int64_t NumSplits = 0;
+  int64_t NumBoxed = 0;
+  bool OutOfMemory = false;
+};
+
+/// Push \p Regions through \p Layers. \p InputShape is the single-sample
+/// activation shape of the first layer (e.g. {1, Latent}). On OOM the
+/// result is empty and Stats.OutOfMemory is set.
+std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
+                                     const Shape &InputShape,
+                                     std::vector<Region> Regions,
+                                     const PropagateConfig &Config,
+                                     DeviceMemoryModel &Memory,
+                                     PropagateStats &Stats);
+
+} // namespace genprove
+
+#endif // GENPROVE_DOMAINS_PROPAGATE_H

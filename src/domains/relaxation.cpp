@@ -1,0 +1,79 @@
+//===- domains/relaxation.cpp ---------------------------------*- C++ -*-===//
+
+#include "src/domains/relaxation.h"
+
+#include "src/util/stats.h"
+
+#include <algorithm>
+
+namespace genprove {
+
+int64_t totalNodes(const std::vector<Region> &Regions) {
+  int64_t Nodes = 0;
+  for (const auto &R : Regions)
+    Nodes += R.nodes();
+  return Nodes;
+}
+
+void relaxRegions(std::vector<Region> &Regions, const RelaxConfig &Config) {
+  // Separate the chain of curve pieces (kept in parameter order) from the
+  // already-relaxed boxes.
+  std::vector<Region> Curves;
+  std::vector<Region> Out;
+  for (auto &R : Regions) {
+    if (R.Kind == RegionKind::Curve)
+      Curves.push_back(std::move(R));
+    else
+      Out.push_back(std::move(R));
+  }
+  std::sort(Curves.begin(), Curves.end(),
+            [](const Region &A, const Region &B) { return A.T0 < B.T0; });
+
+  const int64_t ChainNodes = static_cast<int64_t>(Curves.size()) + 1;
+  if (ChainNodes <= Config.NodeThreshold || Config.RelaxPercent <= 0.0) {
+    for (auto &C : Curves)
+      Out.push_back(std::move(C));
+    Regions = std::move(Out);
+    return;
+  }
+
+  // Length percentile threshold, computed once before any boxing.
+  std::vector<double> Lengths;
+  Lengths.reserve(Curves.size());
+  for (const auto &C : Curves)
+    Lengths.push_back(curveChordLength(C));
+  const double LengthCap = percentile(Lengths, Config.RelaxPercent);
+
+  // Per-step endpoint budget t/k: each merged box may subsume at most this
+  // many segment endpoints ("clustering parameter" k).
+  const int64_t StepBudget = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(ChainNodes) /
+                              std::max(Config.ClusterK, 1.0)));
+
+  size_t I = 0;
+  while (I < Curves.size()) {
+    // Greedily box a run of short pieces.
+    bool HaveGroup = false;
+    Region Group;
+    int64_t Visited = 0;
+    while (I < Curves.size() && Visited < StepBudget &&
+           Lengths[I] <= LengthCap) {
+      const Region Box = boundingBox(Curves[I]);
+      Group = HaveGroup ? mergeBoxes(Group, Box) : Box;
+      HaveGroup = true;
+      ++Visited;
+      ++I;
+    }
+    if (HaveGroup)
+      Out.push_back(std::move(Group));
+    // Skip the next piece (chain end, budget breach, or a long piece) and
+    // restart the traversal after it.
+    if (I < Curves.size()) {
+      Out.push_back(std::move(Curves[I]));
+      ++I;
+    }
+  }
+  Regions = std::move(Out);
+}
+
+} // namespace genprove

@@ -1,0 +1,156 @@
+//===- domains/zonotope.cpp -----------------------------------*- C++ -*-===//
+
+#include "src/domains/zonotope.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+
+Tensor reshapeRows(const Tensor &Rows, const Shape &SampleShape) {
+  std::vector<int64_t> Dims = SampleShape.dims();
+  Dims[0] = Rows.dim(0);
+  return Rows.reshaped(Shape(Dims));
+}
+
+Tensor flattenRows(const Tensor &Acts) {
+  const int64_t K = Acts.dim(0);
+  return Acts.reshaped({K, Acts.numel() / std::max<int64_t>(K, 1)});
+}
+
+/// Spec tests on a zonotope: min/max of each halfspace functional.
+ProbBounds liftedBounds(const Tensor &Center, const Tensor &Gens,
+                        const OutputSpec &Spec) {
+  bool Contained = true;
+  bool Intersects = true;
+  for (const auto &H : Spec.halfspaces()) {
+    double Mid = H.Offset;
+    for (int64_t J = 0; J < H.Normal.numel(); ++J)
+      Mid += H.Normal[J] * Center[J];
+    double Spread = 0.0;
+    for (int64_t G = 0; G < Gens.dim(0); ++G) {
+      double Dot = 0.0;
+      for (int64_t J = 0; J < Gens.dim(1); ++J)
+        Dot += H.Normal[J] * Gens.at(G, J);
+      Spread += std::fabs(Dot);
+    }
+    if (Mid - Spread <= 0.0)
+      Contained = false;
+    if (Mid + Spread <= 0.0)
+      Intersects = false;
+  }
+  if (Contained)
+    return {1.0, 1.0, false};
+  if (!Intersects)
+    return {0.0, 0.0, false};
+  return {0.0, 1.0, false};
+}
+
+} // namespace
+
+std::vector<ConvexResult>
+analyzeZonotopeMulti(const std::vector<const Layer *> &Layers,
+                     const Shape &InputShape, const Tensor &Start,
+                     const Tensor &End, const std::vector<OutputSpec> &Specs,
+                     ZonotopeKind Kind, DeviceMemoryModel &Memory) {
+  ConvexResult Result;
+  const int64_t N = Start.numel();
+  Tensor Center({1, N});
+  Tensor Gens({1, N});
+  for (int64_t J = 0; J < N; ++J) {
+    Center[J] = 0.5 * (Start[J] + End[J]);
+    Gens.at(0, J) = 0.5 * (End[J] - Start[J]);
+  }
+
+  Shape CurShape = InputShape;
+  auto Charge = [&]() {
+    Result.MaxGenerators = std::max(Result.MaxGenerators, Gens.dim(0));
+    const bool Ok =
+        Memory.chargeState(Gens.dim(0) + 1, CurShape.numel());
+    Result.PeakBytes = Memory.peakBytes();
+    return Ok;
+  };
+  auto OomResults = [&]() {
+    Result.Bounds = {0.0, 1.0, true};
+    return std::vector<ConvexResult>(Specs.size(), Result);
+  };
+  if (!Charge())
+    return OomResults();
+
+  for (const Layer *L : Layers) {
+    if (L->isAffine()) {
+      Center = flattenRows(L->applyAffine(reshapeRows(Center, CurShape)));
+      Gens = flattenRows(L->applyLinear(reshapeRows(Gens, CurShape)));
+      CurShape = L->outputShape(CurShape);
+    } else {
+      // ReLU: per-dimension case analysis. First pass decides the
+      // transform and the fresh-error magnitude per crossing neuron while
+      // the pre-ReLU bounds are still available; the second pass appends
+      // the fresh generators.
+      const int64_t Dim = Center.numel();
+      const int64_t G = Gens.dim(0);
+      std::vector<std::pair<int64_t, double>> Fresh; // (dim, coefficient)
+      for (int64_t J = 0; J < Dim; ++J) {
+        double Spread = 0.0;
+        for (int64_t Row = 0; Row < G; ++Row)
+          Spread += std::fabs(Gens.at(Row, J));
+        const double Lo = Center[J] - Spread;
+        const double Hi = Center[J] + Spread;
+        if (Hi <= 0.0) {
+          Center[J] = 0.0;
+          for (int64_t Row = 0; Row < G; ++Row)
+            Gens.at(Row, J) = 0.0;
+        } else if (Lo < 0.0) {
+          if (Kind == ZonotopeKind::DeepZono) {
+            // Minimal-area parallelogram: y = lambda*x + mu +- mu.
+            const double Lambda = Hi / (Hi - Lo);
+            const double Mu = -Lambda * Lo / 2.0;
+            Center[J] = Lambda * Center[J] + Mu;
+            for (int64_t Row = 0; Row < G; ++Row)
+              Gens.at(Row, J) *= Lambda;
+            Fresh.emplace_back(J, Mu);
+          } else {
+            // AI2-style: forget the affine form, use [0, Hi].
+            Center[J] = Hi / 2.0;
+            for (int64_t Row = 0; Row < G; ++Row)
+              Gens.at(Row, J) = 0.0;
+            Fresh.emplace_back(J, Hi / 2.0);
+          }
+        }
+        // Lo >= 0: identity.
+      }
+      if (!Fresh.empty()) {
+        Tensor NewGens({G + static_cast<int64_t>(Fresh.size()), Dim});
+        std::copy(Gens.data(), Gens.data() + Gens.numel(), NewGens.data());
+        for (size_t K = 0; K < Fresh.size(); ++K)
+          NewGens.at(G + static_cast<int64_t>(K), Fresh[K].first) =
+              Fresh[K].second;
+        Gens = std::move(NewGens);
+      }
+    }
+    if (!Charge())
+      return OomResults();
+  }
+
+  std::vector<ConvexResult> Results;
+  Results.reserve(Specs.size());
+  for (const OutputSpec &Spec : Specs) {
+    ConvexResult PerSpec = Result;
+    PerSpec.Bounds = liftedBounds(Center, Gens, Spec);
+    Results.push_back(std::move(PerSpec));
+  }
+  return Results;
+}
+
+ConvexResult analyzeZonotope(const std::vector<const Layer *> &Layers,
+                             const Shape &InputShape, const Tensor &Start,
+                             const Tensor &End, const OutputSpec &Spec,
+                             ZonotopeKind Kind, DeviceMemoryModel &Memory) {
+  return analyzeZonotopeMulti(Layers, InputShape, Start, End, {Spec}, Kind,
+                              Memory)
+      .front();
+}
+
+} // namespace genprove

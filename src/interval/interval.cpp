@@ -1,0 +1,13 @@
+//===- interval/interval.cpp ----------------------------------*- C++ -*-===//
+
+#include "src/interval/interval.h"
+
+namespace genprove {
+
+Interval Interval::operator*(const Interval &O) const {
+  const double A = Lo * O.Lo, B = Lo * O.Hi, C = Hi * O.Lo, D = Hi * O.Hi;
+  return {std::min(std::min(A, B), std::min(C, D)),
+          std::max(std::max(A, B), std::max(C, D))};
+}
+
+} // namespace genprove

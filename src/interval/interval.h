@@ -1,0 +1,57 @@
+//===- interval/interval.h - Scalar interval arithmetic --------*- C++ -*-===//
+///
+/// \file
+/// Closed real intervals with the operations the Box domain needs. Most of
+/// the heavy lifting uses the (center, radius) tensor form directly; this
+/// scalar type backs the unit tests and the bound computations on output
+/// specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_INTERVAL_INTERVAL_H
+#define GENPROVE_INTERVAL_INTERVAL_H
+
+#include <algorithm>
+
+namespace genprove {
+
+/// A closed interval [Lo, Hi].
+struct Interval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+
+  Interval() = default;
+  Interval(double Lo, double Hi) : Lo(Lo), Hi(Hi) {}
+
+  static Interval point(double V) { return {V, V}; }
+
+  double width() const { return Hi - Lo; }
+  double center() const { return 0.5 * (Lo + Hi); }
+  double radius() const { return 0.5 * (Hi - Lo); }
+  bool contains(double V) const { return Lo <= V && V <= Hi; }
+  bool contains(const Interval &Other) const {
+    return Lo <= Other.Lo && Other.Hi <= Hi;
+  }
+  bool intersects(const Interval &Other) const {
+    return Lo <= Other.Hi && Other.Lo <= Hi;
+  }
+
+  Interval operator+(const Interval &O) const { return {Lo + O.Lo, Hi + O.Hi}; }
+  Interval operator-(const Interval &O) const { return {Lo - O.Hi, Hi - O.Lo}; }
+  Interval operator*(double S) const {
+    return S >= 0 ? Interval{Lo * S, Hi * S} : Interval{Hi * S, Lo * S};
+  }
+  Interval operator*(const Interval &O) const;
+
+  /// max(0, x) applied to the whole interval.
+  Interval relu() const { return {std::max(Lo, 0.0), std::max(Hi, 0.0)}; }
+
+  /// Smallest interval containing both.
+  Interval hull(const Interval &O) const {
+    return {std::min(Lo, O.Lo), std::max(Hi, O.Hi)};
+  }
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_INTERVAL_INTERVAL_H

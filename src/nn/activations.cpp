@@ -1,0 +1,21 @@
+//===- nn/activations.cpp -------------------------------------*- C++ -*-===//
+
+#include "src/nn/activations.h"
+
+#include "src/tensor/ops.h"
+
+namespace genprove {
+
+Tensor ReLU::forward(const Tensor &Input) {
+  CachedMask = reluMask(Input);
+  return relu(Input);
+}
+
+Tensor ReLU::backward(const Tensor &GradOutput) {
+  Tensor Grad = GradOutput.clone();
+  for (int64_t I = 0; I < Grad.numel(); ++I)
+    Grad[I] *= CachedMask[I];
+  return Grad;
+}
+
+} // namespace genprove

@@ -1,0 +1,162 @@
+//===- nn/architectures.cpp -----------------------------------*- C++ -*-===//
+
+#include "src/nn/architectures.h"
+
+#include "src/nn/activations.h"
+#include "src/nn/conv.h"
+#include "src/nn/conv_transpose.h"
+#include "src/nn/linear.h"
+#include "src/nn/reshape.h"
+#include "src/util/error.h"
+
+namespace genprove {
+
+namespace {
+
+/// Track the spatial size while stacking conv layers.
+struct Builder {
+  Sequential Net;
+  int64_t Channels;
+  int64_t Size;
+
+  Builder(int64_t ImgChannels, int64_t ImgSize)
+      : Channels(ImgChannels), Size(ImgSize) {}
+
+  Builder &conv(int64_t OutC, int64_t Kernel, int64_t Stride) {
+    Net.add(std::make_unique<Conv2d>(Channels, OutC, Kernel, Stride,
+                                     /*Padding=*/1));
+    Size = (Size + 2 - Kernel) / Stride + 1;
+    Channels = OutC;
+    Net.add(std::make_unique<ReLU>());
+    return *this;
+  }
+
+  Builder &flatten() {
+    Net.add(std::make_unique<Flatten>());
+    return *this;
+  }
+
+  int64_t features() const { return Channels * Size * Size; }
+};
+
+void addFc(Sequential &Net, int64_t In, int64_t Out, bool WithRelu) {
+  Net.add(std::make_unique<Linear>(In, Out));
+  if (WithRelu)
+    Net.add(std::make_unique<ReLU>());
+}
+
+} // namespace
+
+Sequential makeEncoderSmall(int64_t ImgChannels, int64_t ImgSize,
+                            int64_t OutDim) {
+  Builder B(ImgChannels, ImgSize);
+  B.conv(16, 4, 2).conv(32, 4, 2).flatten();
+  addFc(B.Net, B.features(), 100, /*WithRelu=*/true);
+  addFc(B.Net, 100, OutDim, /*WithRelu=*/false);
+  return std::move(B.Net);
+}
+
+Sequential makeEncoder(int64_t ImgChannels, int64_t ImgSize, int64_t OutDim) {
+  Builder B(ImgChannels, ImgSize);
+  B.conv(32, 3, 1).conv(32, 4, 2).conv(64, 3, 1).conv(64, 4, 2).flatten();
+  addFc(B.Net, B.features(), 512, /*WithRelu=*/true);
+  addFc(B.Net, 512, 512, /*WithRelu=*/true);
+  addFc(B.Net, 512, OutDim, /*WithRelu=*/false);
+  return std::move(B.Net);
+}
+
+namespace {
+
+Sequential makeDecoderImpl(int64_t Latent, int64_t ImgChannels,
+                           int64_t ImgSize, int64_t FirstFc,
+                           int64_t MidChannels) {
+  check(ImgSize % 2 == 0, "decoder image size must be even");
+  const int64_t Base = ImgSize / 2;
+  const int64_t MidFeatures = 32 * Base * Base;
+  Sequential Net;
+  addFc(Net, Latent, FirstFc, /*WithRelu=*/true);
+  addFc(Net, FirstFc, MidFeatures, /*WithRelu=*/true);
+  Net.add(std::make_unique<Reshape>(32, Base, Base));
+  // ConvT stride 2, pad 1, outpad 1: Base -> 2*Base = ImgSize.
+  Net.add(std::make_unique<ConvTranspose2d>(32, MidChannels, 3, 2, 1, 1));
+  Net.add(std::make_unique<ReLU>());
+  // ConvT stride 1, pad 1: keeps ImgSize.
+  Net.add(
+      std::make_unique<ConvTranspose2d>(MidChannels, ImgChannels, 3, 1, 1, 0));
+  return Net;
+}
+
+} // namespace
+
+Sequential makeDecoder(int64_t Latent, int64_t ImgChannels, int64_t ImgSize) {
+  return makeDecoderImpl(Latent, ImgChannels, ImgSize, /*FirstFc=*/400,
+                         /*MidChannels=*/16);
+}
+
+Sequential makeDecoderSmall(int64_t Latent, int64_t ImgChannels,
+                            int64_t ImgSize) {
+  return makeDecoderImpl(Latent, ImgChannels, ImgSize, /*FirstFc=*/200,
+                         /*MidChannels=*/8);
+}
+
+Sequential makeConvSmall(int64_t ImgChannels, int64_t ImgSize,
+                         int64_t NumOut) {
+  Builder B(ImgChannels, ImgSize);
+  B.conv(16, 4, 2).conv(32, 4, 2).flatten();
+  addFc(B.Net, B.features(), 100, /*WithRelu=*/true);
+  addFc(B.Net, 100, NumOut, /*WithRelu=*/false);
+  return std::move(B.Net);
+}
+
+Sequential makeConvMed(int64_t ImgChannels, int64_t ImgSize, int64_t NumOut) {
+  Builder B(ImgChannels, ImgSize);
+  B.conv(12, 4, 1).conv(16, 4, 2).flatten();
+  addFc(B.Net, B.features(), 500, /*WithRelu=*/true);
+  addFc(B.Net, 500, 200, /*WithRelu=*/true);
+  addFc(B.Net, 200, 100, /*WithRelu=*/true);
+  addFc(B.Net, 100, NumOut, /*WithRelu=*/false);
+  return std::move(B.Net);
+}
+
+Sequential makeConvLarge(int64_t ImgChannels, int64_t ImgSize,
+                         int64_t NumOut) {
+  Builder B(ImgChannels, ImgSize);
+  B.conv(16, 3, 1).conv(16, 4, 2).conv(32, 3, 1).conv(32, 4, 2).flatten();
+  addFc(B.Net, B.features(), 200, /*WithRelu=*/true);
+  addFc(B.Net, 200, 100, /*WithRelu=*/true);
+  addFc(B.Net, 100, NumOut, /*WithRelu=*/false);
+  return std::move(B.Net);
+}
+
+Sequential makeConvBiggest(int64_t ImgChannels, int64_t ImgSize,
+                           int64_t NumOut) {
+  Builder B(ImgChannels, ImgSize);
+  B.conv(16, 3, 1).conv(16, 3, 1).conv(32, 3, 2).conv(32, 3, 1).conv(32, 3, 1);
+  B.flatten();
+  addFc(B.Net, B.features(), 200, /*WithRelu=*/true);
+  addFc(B.Net, 200, NumOut, /*WithRelu=*/false);
+  return std::move(B.Net);
+}
+
+Sequential makeMlp(const std::vector<int64_t> &Dims) {
+  check(Dims.size() >= 2, "MLP needs at least input and output dims");
+  Sequential Net;
+  for (size_t I = 0; I + 1 < Dims.size(); ++I)
+    addFc(Net, Dims[I], Dims[I + 1], /*WithRelu=*/I + 2 < Dims.size());
+  return Net;
+}
+
+Sequential makeClassifier(const std::string &Name, int64_t ImgChannels,
+                          int64_t ImgSize, int64_t NumOut) {
+  if (Name == "ConvSmall")
+    return makeConvSmall(ImgChannels, ImgSize, NumOut);
+  if (Name == "ConvMed")
+    return makeConvMed(ImgChannels, ImgSize, NumOut);
+  if (Name == "ConvLarge")
+    return makeConvLarge(ImgChannels, ImgSize, NumOut);
+  if (Name == "ConvBiggest")
+    return makeConvBiggest(ImgChannels, ImgSize, NumOut);
+  fatalError("unknown classifier architecture: " + Name);
+}
+
+} // namespace genprove

@@ -1,0 +1,70 @@
+//===- nn/architectures.h - The paper's architecture zoo -------*- C++ -*-===//
+///
+/// \file
+/// Builders for the Appendix B architectures, parameterized by image size
+/// so the same families run at CPU-friendly resolutions (the reproduction
+/// default is 16x16). Layer sequences mirror the paper:
+///
+///   EncoderSmall: Conv_2 16x4x4 - Conv_2 32x4x4 - FC 100 - FC out
+///   Encoder:      Conv_1 32x3x3 - Conv_2 32x4x4 - Conv_1 64x3x3 -
+///                 Conv_2 64x4x4 - FC 512 - FC 512 - FC out
+///   Decoder:      FC 400 - FC (32*(S/2)^2) - ConvT_{2,1} 16x3x3 -
+///                 ConvT_{1,0} Cx3x3
+///   DecoderSmall: FC 200 - FC (32*(S/2)^2) - ConvT_{2,1} 8x3x3 -
+///                 ConvT_{1,0} Cx3x3
+///   ConvSmall:    Conv_2 16x4x4 - Conv_2 32x4x4 - FC 100 - FC out
+///   ConvMed:      Conv_1 12x4x4 - Conv_2 16x4x4 - FC 500 - FC 200 -
+///                 FC 100 - FC out
+///   ConvLarge:    Conv_1 16x3x3 - Conv_2 16x4x4 - Conv_1 32x3x3 -
+///                 Conv_2 32x4x4 - FC 200 - FC 100 - FC out
+///   ConvBiggest:  Conv_1 16x3x3 - Conv_1 16x3x3 - Conv_2 32x3x3 -
+///                 Conv_1 32x3x3 - Conv_1 32x3x3 - FC 200 - FC out
+///                 (channel widths scaled from the paper's 64/128 for CPU;
+///                 it stays the largest network in the zoo)
+///
+/// ReLU follows every layer except the output. VAE encoders emit 2*Latent
+/// units (mean and log-variance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_NN_ARCHITECTURES_H
+#define GENPROVE_NN_ARCHITECTURES_H
+
+#include "src/nn/sequential.h"
+
+namespace genprove {
+
+/// EncoderSmall with OutDim output units (use 2*latent for a VAE encoder,
+/// 1 for a GAN discriminator).
+Sequential makeEncoderSmall(int64_t ImgChannels, int64_t ImgSize,
+                            int64_t OutDim);
+
+/// The large CelebA encoder.
+Sequential makeEncoder(int64_t ImgChannels, int64_t ImgSize, int64_t OutDim);
+
+/// The standard decoder/generator (74k neurons at 64x64 in the paper).
+Sequential makeDecoder(int64_t Latent, int64_t ImgChannels, int64_t ImgSize);
+
+/// The small decoder used for GenProveCurve experiments.
+Sequential makeDecoderSmall(int64_t Latent, int64_t ImgChannels,
+                            int64_t ImgSize);
+
+/// Classifiers / attribute detectors of increasing size.
+Sequential makeConvSmall(int64_t ImgChannels, int64_t ImgSize, int64_t NumOut);
+Sequential makeConvMed(int64_t ImgChannels, int64_t ImgSize, int64_t NumOut);
+Sequential makeConvLarge(int64_t ImgChannels, int64_t ImgSize, int64_t NumOut);
+Sequential makeConvBiggest(int64_t ImgChannels, int64_t ImgSize,
+                           int64_t NumOut);
+
+/// Plain MLP with ReLU between layers (FactorVAE critic etc.).
+/// Dims = {in, hidden..., out}.
+Sequential makeMlp(const std::vector<int64_t> &Dims);
+
+/// Build one of the classifier architectures by name
+/// ("ConvSmall" | "ConvMed" | "ConvLarge" | "ConvBiggest").
+Sequential makeClassifier(const std::string &Name, int64_t ImgChannels,
+                          int64_t ImgSize, int64_t NumOut);
+
+} // namespace genprove
+
+#endif // GENPROVE_NN_ARCHITECTURES_H

@@ -1,0 +1,17 @@
+//===- nn/init.h - Weight initialization -----------------------*- C++ -*-===//
+
+#ifndef GENPROVE_NN_INIT_H
+#define GENPROVE_NN_INIT_H
+
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Kaiming-He (fan-in) normal initialization for all Linear / Conv2d /
+/// ConvTranspose2d weights in the network; biases are zeroed.
+void kaimingInit(Sequential &Network, Rng &Generator);
+
+} // namespace genprove
+
+#endif // GENPROVE_NN_INIT_H

@@ -1,0 +1,105 @@
+//===- nn/layer.h - Neural network layer interface -------------*- C++ -*-===//
+///
+/// \file
+/// Layer is the common interface of all network layers. It serves two
+/// clients:
+///
+///  * the trainers, through forward()/backward()/params(); and
+///  * the verifier, through the affine interface. Every layer except ReLU
+///    is an affine map f(x) = A x + b. The analyzer propagates batches of
+///    points (segment/curve coefficient vectors) with applyAffine() and
+///    applyLinear() (no bias, for direction vectors and zonotope
+///    generators), and interval boxes with applyToBox() (center via the
+///    affine map, radius via |A|). ReLU is handled symbolically by the
+///    abstract domains, never through this interface.
+///
+/// Dynamic dispatch uses an LLVM-style Kind tag instead of RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_NN_LAYER_H
+#define GENPROVE_NN_LAYER_H
+
+#include "src/tensor/tensor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace genprove {
+
+/// A named parameter tensor paired with its gradient accumulator.
+struct Param {
+  Tensor *Value = nullptr;
+  Tensor *Grad = nullptr;
+  std::string Name;
+};
+
+/// Base class for all layers.
+class Layer {
+public:
+  enum class Kind : uint8_t {
+    Linear,
+    Conv2d,
+    ConvTranspose2d,
+    ReLU,
+    Flatten,
+    Reshape,
+  };
+
+  explicit Layer(Kind LayerKind) : LayerKind(LayerKind) {}
+  virtual ~Layer() = default;
+
+  Kind kind() const { return LayerKind; }
+
+  /// True for every layer except ReLU.
+  bool isAffine() const { return LayerKind != Kind::ReLU; }
+
+  /// Training-mode forward pass on a batch (first dim is the batch).
+  /// Caches whatever backward() needs.
+  virtual Tensor forward(const Tensor &Input) = 0;
+
+  /// Backward pass; accumulates parameter gradients, returns grad of input.
+  virtual Tensor backward(const Tensor &GradOutput) = 0;
+
+  /// Affine application with bias to a batch of points. Only valid when
+  /// isAffine().
+  virtual Tensor applyAffine(const Tensor &Points) const {
+    (void)Points;
+    fatalError("applyAffine called on a non-affine layer");
+  }
+
+  /// Linear part only (no bias); used for direction vectors, curve
+  /// coefficients and zonotope generators. Only valid when isAffine().
+  virtual Tensor applyLinear(const Tensor &Points) const {
+    (void)Points;
+    fatalError("applyLinear called on a non-affine layer");
+  }
+
+  /// Interval propagation: Center' = A*Center + b, Radius' = |A|*Radius.
+  /// Center and Radius are single-sample batches. Only valid when
+  /// isAffine().
+  virtual void applyToBox(Tensor &Center, Tensor &Radius) const {
+    (void)Center;
+    (void)Radius;
+    fatalError("applyToBox called on a non-affine layer");
+  }
+
+  /// Learnable parameters (empty for shape/activation layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Output activation shape (including batch dim) for a given input shape.
+  virtual Shape outputShape(const Shape &InputShape) const = 0;
+
+  /// Human-readable description, e.g. "Conv2d(3->16, k4, s2, p1)".
+  virtual std::string describe() const = 0;
+
+private:
+  const Kind LayerKind;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace genprove
+
+#endif // GENPROVE_NN_LAYER_H

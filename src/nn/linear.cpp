@@ -1,0 +1,70 @@
+//===- nn/linear.cpp ------------------------------------------*- C++ -*-===//
+
+#include "src/nn/linear.h"
+
+#include "src/tensor/ops.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace genprove {
+
+Linear::Linear(int64_t InFeatures, int64_t OutFeatures)
+    : Layer(Kind::Linear), InFeatures(InFeatures), OutFeatures(OutFeatures),
+      Weight({OutFeatures, InFeatures}), Bias({OutFeatures}),
+      GradWeight({OutFeatures, InFeatures}), GradBias({OutFeatures}) {}
+
+Tensor Linear::forward(const Tensor &Input) {
+  CachedInput = Input;
+  return applyAffine(Input);
+}
+
+Tensor Linear::backward(const Tensor &GradOutput) {
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W.
+  Tensor Dw = matmulTransA(GradOutput, CachedInput); // [Out, In]
+  GradWeight.addInPlace(Dw);
+  const int64_t B = GradOutput.dim(0);
+  for (int64_t I = 0; I < B; ++I)
+    for (int64_t J = 0; J < OutFeatures; ++J)
+      GradBias[J] += GradOutput.at(I, J);
+  return matmul(GradOutput, Weight); // [B, In]
+}
+
+Tensor Linear::applyAffine(const Tensor &Points) const {
+  Tensor Out = matmulTransB(Points, Weight); // [B, Out]
+  const int64_t B = Out.dim(0);
+  for (int64_t I = 0; I < B; ++I)
+    for (int64_t J = 0; J < OutFeatures; ++J)
+      Out.at(I, J) += Bias[J];
+  return Out;
+}
+
+Tensor Linear::applyLinear(const Tensor &Points) const {
+  return matmulTransB(Points, Weight);
+}
+
+void Linear::applyToBox(Tensor &Center, Tensor &Radius) const {
+  Center = applyAffine(Center);
+  Tensor AbsW = Weight.clone();
+  for (int64_t I = 0; I < AbsW.numel(); ++I)
+    AbsW[I] = std::fabs(AbsW[I]);
+  Radius = matmulTransB(Radius, AbsW);
+}
+
+std::vector<Param> Linear::params() {
+  return {{&Weight, &GradWeight, "weight"}, {&Bias, &GradBias, "bias"}};
+}
+
+Shape Linear::outputShape(const Shape &InputShape) const {
+  check(InputShape.rank() == 2 && InputShape.dim(1) == InFeatures,
+        "Linear input shape mismatch");
+  return Shape({InputShape.dim(0), OutFeatures});
+}
+
+std::string Linear::describe() const {
+  std::ostringstream Out;
+  Out << "Linear(" << InFeatures << "->" << OutFeatures << ")";
+  return Out.str();
+}
+
+} // namespace genprove

@@ -1,0 +1,43 @@
+//===- nn/linear.h - Fully connected layer ---------------------*- C++ -*-===//
+
+#ifndef GENPROVE_NN_LINEAR_H
+#define GENPROVE_NN_LINEAR_H
+
+#include "src/nn/layer.h"
+
+namespace genprove {
+
+/// Fully connected layer: y = x W^T + b with W of shape [Out, In].
+class Linear : public Layer {
+public:
+  Linear(int64_t InFeatures, int64_t OutFeatures);
+
+  Tensor forward(const Tensor &Input) override;
+  Tensor backward(const Tensor &GradOutput) override;
+  Tensor applyAffine(const Tensor &Points) const override;
+  Tensor applyLinear(const Tensor &Points) const override;
+  void applyToBox(Tensor &Center, Tensor &Radius) const override;
+  std::vector<Param> params() override;
+  Shape outputShape(const Shape &InputShape) const override;
+  std::string describe() const override;
+
+  int64_t inFeatures() const { return InFeatures; }
+  int64_t outFeatures() const { return OutFeatures; }
+  Tensor &weight() { return Weight; }
+  Tensor &bias() { return Bias; }
+  const Tensor &weight() const { return Weight; }
+  const Tensor &bias() const { return Bias; }
+
+private:
+  int64_t InFeatures;
+  int64_t OutFeatures;
+  Tensor Weight;     // [Out, In]
+  Tensor Bias;       // [Out]
+  Tensor GradWeight; // [Out, In]
+  Tensor GradBias;   // [Out]
+  Tensor CachedInput;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_NN_LINEAR_H

@@ -1,0 +1,29 @@
+//===- nn/serialize.h - Network (de)serialization --------------*- C++ -*-===//
+///
+/// \file
+/// A tiny binary format for trained networks so the benchmark harnesses can
+/// cache models under models/ and reload them deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_NN_SERIALIZE_H
+#define GENPROVE_NN_SERIALIZE_H
+
+#include "src/nn/sequential.h"
+
+#include <optional>
+#include <string>
+
+namespace genprove {
+
+/// Write the architecture and all parameters to \p Path. Returns false on
+/// I/O failure.
+bool saveNetwork(const Sequential &Network, const std::string &Path);
+
+/// Read a network previously written by saveNetwork. Returns nullopt on
+/// missing file or format mismatch.
+std::optional<Sequential> loadNetwork(const std::string &Path);
+
+} // namespace genprove
+
+#endif // GENPROVE_NN_SERIALIZE_H

@@ -1,0 +1,403 @@
+//===- tensor/ops.cpp -----------------------------------------*- C++ -*-===//
+
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genprove {
+
+Tensor matmul(const Tensor &A, const Tensor &B) {
+  check(A.rank() == 2 && B.rank() == 2, "matmul requires rank-2 tensors");
+  const int64_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
+  check(B.dim(0) == K, "matmul inner dimension mismatch");
+  Tensor C({M, N});
+  const double *Ad = A.data();
+  const double *Bd = B.data();
+  double *Cd = C.data();
+  for (int64_t I = 0; I < M; ++I) {
+    const double *Arow = Ad + I * K;
+    double *Crow = Cd + I * N;
+    for (int64_t Kk = 0; Kk < K; ++Kk) {
+      const double Aik = Arow[Kk];
+      if (Aik == 0.0)
+        continue;
+      const double *Brow = Bd + Kk * N;
+      for (int64_t J = 0; J < N; ++J)
+        Crow[J] += Aik * Brow[J];
+    }
+  }
+  return C;
+}
+
+Tensor matmulTransA(const Tensor &A, const Tensor &B) {
+  check(A.rank() == 2 && B.rank() == 2, "matmulTransA requires rank-2");
+  const int64_t K = A.dim(0), M = A.dim(1), N = B.dim(1);
+  check(B.dim(0) == K, "matmulTransA inner dimension mismatch");
+  Tensor C({M, N});
+  const double *Ad = A.data();
+  const double *Bd = B.data();
+  double *Cd = C.data();
+  for (int64_t Kk = 0; Kk < K; ++Kk) {
+    const double *Arow = Ad + Kk * M;
+    const double *Brow = Bd + Kk * N;
+    for (int64_t I = 0; I < M; ++I) {
+      const double Aki = Arow[I];
+      if (Aki == 0.0)
+        continue;
+      double *Crow = Cd + I * N;
+      for (int64_t J = 0; J < N; ++J)
+        Crow[J] += Aki * Brow[J];
+    }
+  }
+  return C;
+}
+
+Tensor matmulTransB(const Tensor &A, const Tensor &B) {
+  check(A.rank() == 2 && B.rank() == 2, "matmulTransB requires rank-2");
+  const int64_t M = A.dim(0), K = A.dim(1), N = B.dim(0);
+  check(B.dim(1) == K, "matmulTransB inner dimension mismatch");
+  Tensor C({M, N});
+  const double *Ad = A.data();
+  const double *Bd = B.data();
+  double *Cd = C.data();
+  for (int64_t I = 0; I < M; ++I) {
+    const double *Arow = Ad + I * K;
+    double *Crow = Cd + I * N;
+    for (int64_t J = 0; J < N; ++J) {
+      const double *Brow = Bd + J * K;
+      double Acc = 0.0;
+      for (int64_t Kk = 0; Kk < K; ++Kk)
+        Acc += Arow[Kk] * Brow[Kk];
+      Crow[J] = Acc;
+    }
+  }
+  return C;
+}
+
+std::pair<int64_t, int64_t> ConvGeometry::convOutput(int64_t H,
+                                                     int64_t W) const {
+  const int64_t OH = (H + 2 * Padding - KernelH) / Stride + 1;
+  const int64_t OW = (W + 2 * Padding - KernelW) / Stride + 1;
+  return {OH, OW};
+}
+
+std::pair<int64_t, int64_t>
+ConvGeometry::convTransposeOutput(int64_t H, int64_t W) const {
+  const int64_t OH = (H - 1) * Stride - 2 * Padding + KernelH + OutputPadding;
+  const int64_t OW = (W - 1) * Stride - 2 * Padding + KernelW + OutputPadding;
+  return {OH, OW};
+}
+
+namespace {
+
+/// Unfold one sample [C, H, W] into a [C*KH*KW, OH*OW] column matrix.
+void im2col(const double *Input, int64_t C, int64_t H, int64_t W,
+            const ConvGeometry &G, double *Col) {
+  const auto [OH, OW] = G.convOutput(H, W);
+  for (int64_t Ch = 0; Ch < C; ++Ch) {
+    for (int64_t Kh = 0; Kh < G.KernelH; ++Kh) {
+      for (int64_t Kw = 0; Kw < G.KernelW; ++Kw) {
+        const int64_t Row = (Ch * G.KernelH + Kh) * G.KernelW + Kw;
+        double *ColRow = Col + Row * OH * OW;
+        for (int64_t Oh = 0; Oh < OH; ++Oh) {
+          const int64_t Ih = Oh * G.Stride - G.Padding + Kh;
+          for (int64_t Ow = 0; Ow < OW; ++Ow) {
+            const int64_t Iw = Ow * G.Stride - G.Padding + Kw;
+            double V = 0.0;
+            if (Ih >= 0 && Ih < H && Iw >= 0 && Iw < W)
+              V = Input[(Ch * H + Ih) * W + Iw];
+            ColRow[Oh * OW + Ow] = V;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Fold a column matrix back into a [C, H, W] sample, accumulating overlaps.
+void col2im(const double *Col, int64_t C, int64_t H, int64_t W,
+            const ConvGeometry &G, double *Output) {
+  const auto [OH, OW] = G.convOutput(H, W);
+  std::fill(Output, Output + C * H * W, 0.0);
+  for (int64_t Ch = 0; Ch < C; ++Ch) {
+    for (int64_t Kh = 0; Kh < G.KernelH; ++Kh) {
+      for (int64_t Kw = 0; Kw < G.KernelW; ++Kw) {
+        const int64_t Row = (Ch * G.KernelH + Kh) * G.KernelW + Kw;
+        const double *ColRow = Col + Row * OH * OW;
+        for (int64_t Oh = 0; Oh < OH; ++Oh) {
+          const int64_t Ih = Oh * G.Stride - G.Padding + Kh;
+          if (Ih < 0 || Ih >= H)
+            continue;
+          for (int64_t Ow = 0; Ow < OW; ++Ow) {
+            const int64_t Iw = Ow * G.Stride - G.Padding + Kw;
+            if (Iw < 0 || Iw >= W)
+              continue;
+            Output[(Ch * H + Ih) * W + Iw] += ColRow[Oh * OW + Ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2dImpl(const Tensor &Input, const Tensor &Weight,
+                  const Tensor &Bias, const ConvGeometry &Geom, bool UseAbs) {
+  check(Input.rank() == 4, "conv2d expects NCHW input");
+  const int64_t N = Input.dim(0), C = Input.dim(1), H = Input.dim(2),
+                W = Input.dim(3);
+  check(C == Geom.InChannels, "conv2d channel mismatch");
+  const auto [OH, OW] = Geom.convOutput(H, W);
+  const int64_t OC = Geom.OutChannels;
+  const int64_t KSize = C * Geom.KernelH * Geom.KernelW;
+
+  Tensor WeightMat = Weight.reshaped({OC, KSize});
+  if (UseAbs) {
+    Tensor AbsW = WeightMat.clone();
+    for (int64_t I = 0; I < AbsW.numel(); ++I)
+      AbsW[I] = std::fabs(AbsW[I]);
+    WeightMat = AbsW;
+  }
+
+  Tensor Output({N, OC, OH, OW});
+  Tensor Col({KSize, OH * OW});
+  for (int64_t Sample = 0; Sample < N; ++Sample) {
+    im2col(Input.data() + Sample * C * H * W, C, H, W, Geom, Col.data());
+    Tensor Out = matmul(WeightMat, Col); // [OC, OH*OW]
+    double *Dst = Output.data() + Sample * OC * OH * OW;
+    const double *Src = Out.data();
+    if (Bias.numel() == OC && !UseAbs) {
+      for (int64_t Oc = 0; Oc < OC; ++Oc) {
+        const double B = Bias[Oc];
+        for (int64_t P = 0; P < OH * OW; ++P)
+          Dst[Oc * OH * OW + P] = Src[Oc * OH * OW + P] + B;
+      }
+    } else {
+      std::copy(Src, Src + OC * OH * OW, Dst);
+    }
+  }
+  return Output;
+}
+
+} // namespace
+
+Tensor conv2d(const Tensor &Input, const Tensor &Weight, const Tensor &Bias,
+              const ConvGeometry &Geom) {
+  return conv2dImpl(Input, Weight, Bias, Geom, /*UseAbs=*/false);
+}
+
+Tensor conv2dAbs(const Tensor &Input, const Tensor &Weight,
+                 const ConvGeometry &Geom) {
+  return conv2dImpl(Input, Weight, Tensor(), Geom, /*UseAbs=*/true);
+}
+
+Tensor conv2dBackward(const Tensor &Input, const Tensor &Weight,
+                      const Tensor &GradOutput, const ConvGeometry &Geom,
+                      Tensor &GradWeight, Tensor &GradBias) {
+  const int64_t N = Input.dim(0), C = Input.dim(1), H = Input.dim(2),
+                W = Input.dim(3);
+  const auto [OH, OW] = Geom.convOutput(H, W);
+  const int64_t OC = Geom.OutChannels;
+  const int64_t KSize = C * Geom.KernelH * Geom.KernelW;
+
+  const Tensor WeightMat = Weight.reshaped({OC, KSize});
+  Tensor GradInput({N, C, H, W});
+  Tensor Col({KSize, OH * OW});
+
+  for (int64_t Sample = 0; Sample < N; ++Sample) {
+    const Tensor GradOutMat =
+        Tensor({OC, OH * OW},
+               std::vector<double>(GradOutput.data() + Sample * OC * OH * OW,
+                                   GradOutput.data() +
+                                       (Sample + 1) * OC * OH * OW));
+    // Grad wrt weight: dW += dOut * Col^T.
+    im2col(Input.data() + Sample * C * H * W, C, H, W, Geom, Col.data());
+    Tensor Dw = matmulTransB(GradOutMat, Col); // [OC, KSize]
+    GradWeight.addInPlace(Dw.reshaped(Weight.shape()));
+    // Grad wrt bias: row sums of dOut.
+    for (int64_t Oc = 0; Oc < OC; ++Oc) {
+      double Acc = 0.0;
+      for (int64_t P = 0; P < OH * OW; ++P)
+        Acc += GradOutMat.at(Oc, P);
+      GradBias[Oc] += Acc;
+    }
+    // Grad wrt input: col grad = W^T * dOut, then col2im.
+    Tensor ColGrad = matmulTransA(WeightMat, GradOutMat); // [KSize, OH*OW]
+    col2im(ColGrad.data(), C, H, W, Geom,
+           GradInput.data() + Sample * C * H * W);
+  }
+  return GradInput;
+}
+
+namespace {
+
+Tensor convTranspose2dImpl(const Tensor &Input, const Tensor &Weight,
+                           const Tensor &Bias, const ConvGeometry &Geom,
+                           bool UseAbs) {
+  check(Input.rank() == 4, "convTranspose2d expects NCHW input");
+  const int64_t N = Input.dim(0), C = Input.dim(1), H = Input.dim(2),
+                W = Input.dim(3);
+  check(C == Geom.InChannels, "convTranspose2d channel mismatch");
+  const auto [OH, OW] = Geom.convTransposeOutput(H, W);
+  const int64_t OC = Geom.OutChannels;
+
+  Tensor Output({N, OC, OH, OW});
+  if (Bias.numel() == OC && !UseAbs) {
+    for (int64_t Sample = 0; Sample < N; ++Sample)
+      for (int64_t Oc = 0; Oc < OC; ++Oc)
+        for (int64_t P = 0; P < OH * OW; ++P)
+          Output.data()[(Sample * OC + Oc) * OH * OW + P] = Bias[Oc];
+  }
+
+  const double *Wd = Weight.data();
+  for (int64_t Sample = 0; Sample < N; ++Sample) {
+    const double *In = Input.data() + Sample * C * H * W;
+    double *Out = Output.data() + Sample * OC * OH * OW;
+    for (int64_t Ic = 0; Ic < C; ++Ic) {
+      for (int64_t Ih = 0; Ih < H; ++Ih) {
+        for (int64_t Iw = 0; Iw < W; ++Iw) {
+          const double V = In[(Ic * H + Ih) * W + Iw];
+          if (V == 0.0)
+            continue;
+          for (int64_t Oc = 0; Oc < OC; ++Oc) {
+            const double *Kslice =
+                Wd + ((Ic * OC + Oc) * Geom.KernelH) * Geom.KernelW;
+            for (int64_t Kh = 0; Kh < Geom.KernelH; ++Kh) {
+              const int64_t Oh = Ih * Geom.Stride - Geom.Padding + Kh;
+              if (Oh < 0 || Oh >= OH)
+                continue;
+              for (int64_t Kw = 0; Kw < Geom.KernelW; ++Kw) {
+                const int64_t Ow = Iw * Geom.Stride - Geom.Padding + Kw;
+                if (Ow < 0 || Ow >= OW)
+                  continue;
+                double Wv = Kslice[Kh * Geom.KernelW + Kw];
+                if (UseAbs)
+                  Wv = std::fabs(Wv);
+                Out[(Oc * OH + Oh) * OW + Ow] += V * Wv;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Output;
+}
+
+} // namespace
+
+Tensor convTranspose2d(const Tensor &Input, const Tensor &Weight,
+                       const Tensor &Bias, const ConvGeometry &Geom) {
+  return convTranspose2dImpl(Input, Weight, Bias, Geom, /*UseAbs=*/false);
+}
+
+Tensor convTranspose2dAbs(const Tensor &Input, const Tensor &Weight,
+                          const ConvGeometry &Geom) {
+  return convTranspose2dImpl(Input, Weight, Tensor(), Geom, /*UseAbs=*/true);
+}
+
+Tensor convTranspose2dBackward(const Tensor &Input, const Tensor &Weight,
+                               const Tensor &GradOutput,
+                               const ConvGeometry &Geom, Tensor &GradWeight,
+                               Tensor &GradBias) {
+  const int64_t N = Input.dim(0), C = Input.dim(1), H = Input.dim(2),
+                W = Input.dim(3);
+  const auto [OH, OW] = Geom.convTransposeOutput(H, W);
+  const int64_t OC = Geom.OutChannels;
+
+  Tensor GradInput({N, C, H, W});
+  const double *Wd = Weight.data();
+  double *Gw = GradWeight.data();
+
+  for (int64_t Sample = 0; Sample < N; ++Sample) {
+    const double *In = Input.data() + Sample * C * H * W;
+    const double *Go = GradOutput.data() + Sample * OC * OH * OW;
+    double *Gi = GradInput.data() + Sample * C * H * W;
+    // Bias gradient: sum over spatial positions.
+    for (int64_t Oc = 0; Oc < OC; ++Oc) {
+      double Acc = 0.0;
+      for (int64_t P = 0; P < OH * OW; ++P)
+        Acc += Go[Oc * OH * OW + P];
+      GradBias[Oc] += Acc;
+    }
+    for (int64_t Ic = 0; Ic < C; ++Ic) {
+      for (int64_t Ih = 0; Ih < H; ++Ih) {
+        for (int64_t Iw = 0; Iw < W; ++Iw) {
+          const double V = In[(Ic * H + Ih) * W + Iw];
+          double GiAcc = 0.0;
+          for (int64_t Oc = 0; Oc < OC; ++Oc) {
+            const double *Kslice =
+                Wd + ((Ic * OC + Oc) * Geom.KernelH) * Geom.KernelW;
+            double *GwSlice =
+                Gw + ((Ic * OC + Oc) * Geom.KernelH) * Geom.KernelW;
+            for (int64_t Kh = 0; Kh < Geom.KernelH; ++Kh) {
+              const int64_t Oh = Ih * Geom.Stride - Geom.Padding + Kh;
+              if (Oh < 0 || Oh >= OH)
+                continue;
+              for (int64_t Kw = 0; Kw < Geom.KernelW; ++Kw) {
+                const int64_t Ow = Iw * Geom.Stride - Geom.Padding + Kw;
+                if (Ow < 0 || Ow >= OW)
+                  continue;
+                const double G = Go[(Oc * OH + Oh) * OW + Ow];
+                GiAcc += G * Kslice[Kh * Geom.KernelW + Kw];
+                GwSlice[Kh * Geom.KernelW + Kw] += G * V;
+              }
+            }
+          }
+          Gi[(Ic * H + Ih) * W + Iw] = GiAcc;
+        }
+      }
+    }
+  }
+  return GradInput;
+}
+
+Tensor relu(const Tensor &Input) {
+  Tensor Out = Input.clone();
+  for (int64_t I = 0; I < Out.numel(); ++I)
+    Out[I] = std::max(0.0, Out[I]);
+  return Out;
+}
+
+Tensor reluMask(const Tensor &Input) {
+  Tensor Out(Input.shape());
+  for (int64_t I = 0; I < Input.numel(); ++I)
+    Out[I] = Input[I] > 0.0 ? 1.0 : 0.0;
+  return Out;
+}
+
+std::vector<int64_t> argmaxRows(const Tensor &Logits) {
+  check(Logits.rank() == 2, "argmaxRows requires rank-2");
+  const int64_t Rows = Logits.dim(0), Cols = Logits.dim(1);
+  std::vector<int64_t> Result(static_cast<size_t>(Rows), 0);
+  for (int64_t I = 0; I < Rows; ++I) {
+    int64_t Best = 0;
+    for (int64_t J = 1; J < Cols; ++J)
+      if (Logits.at(I, J) > Logits.at(I, Best))
+        Best = J;
+    Result[static_cast<size_t>(I)] = Best;
+  }
+  return Result;
+}
+
+Tensor softmaxRows(const Tensor &Logits) {
+  check(Logits.rank() == 2, "softmaxRows requires rank-2");
+  const int64_t Rows = Logits.dim(0), Cols = Logits.dim(1);
+  Tensor Out(Logits.shape());
+  for (int64_t I = 0; I < Rows; ++I) {
+    double Max = Logits.at(I, 0);
+    for (int64_t J = 1; J < Cols; ++J)
+      Max = std::max(Max, Logits.at(I, J));
+    double Sum = 0.0;
+    for (int64_t J = 0; J < Cols; ++J) {
+      const double E = std::exp(Logits.at(I, J) - Max);
+      Out.at(I, J) = E;
+      Sum += E;
+    }
+    for (int64_t J = 0; J < Cols; ++J)
+      Out.at(I, J) /= Sum;
+  }
+  return Out;
+}
+
+} // namespace genprove

@@ -1,0 +1,93 @@
+//===- tensor/ops.h - Tensor kernels ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The numeric kernels: matmul (plus transposed variants used by backprop),
+/// im2col-based 2-D convolution, transposed convolution, and the
+/// absolute-weight variants required by interval arithmetic (a box with
+/// center c and radius r maps through an affine layer as c' = W c + b,
+/// r' = |W| r).
+///
+/// Convolution weight layout follows PyTorch:
+///   Conv2d:          [OutC, InC, KH, KW]
+///   ConvTranspose2d: [InC, OutC, KH, KW]
+/// Activations are NCHW.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TENSOR_OPS_H
+#define GENPROVE_TENSOR_OPS_H
+
+#include "src/tensor/tensor.h"
+
+namespace genprove {
+
+/// C = A(MxK) * B(KxN).
+Tensor matmul(const Tensor &A, const Tensor &B);
+
+/// C = A^T(KxM -> MxK as given) * B. A is (KxM), result (MxN): C = Aᵀ B.
+Tensor matmulTransA(const Tensor &A, const Tensor &B);
+
+/// C = A * Bᵀ where A is (MxK) and B is (NxK); result (MxN).
+Tensor matmulTransB(const Tensor &A, const Tensor &B);
+
+/// Geometry of a 2-D convolution.
+struct ConvGeometry {
+  int64_t InChannels = 0;
+  int64_t OutChannels = 0;
+  int64_t KernelH = 0;
+  int64_t KernelW = 0;
+  int64_t Stride = 1;
+  int64_t Padding = 0;
+  int64_t OutputPadding = 0; // transposed conv only
+
+  /// Spatial output size of a forward convolution on (H, W).
+  std::pair<int64_t, int64_t> convOutput(int64_t H, int64_t W) const;
+
+  /// Spatial output size of a transposed convolution on (H, W).
+  std::pair<int64_t, int64_t> convTransposeOutput(int64_t H, int64_t W) const;
+};
+
+/// Forward 2-D convolution of NCHW input with weight [OC, IC, KH, KW] and
+/// bias [OC] (pass an empty tensor to skip bias). Uses im2col + matmul.
+Tensor conv2d(const Tensor &Input, const Tensor &Weight, const Tensor &Bias,
+              const ConvGeometry &Geom);
+
+/// conv2d with |Weight| and no bias: propagates interval radii.
+Tensor conv2dAbs(const Tensor &Input, const Tensor &Weight,
+                 const ConvGeometry &Geom);
+
+/// Gradients of conv2d. GradOutput is NCHW with the conv output shape.
+/// Returns gradient w.r.t. input; accumulates into GradWeight/GradBias.
+Tensor conv2dBackward(const Tensor &Input, const Tensor &Weight,
+                      const Tensor &GradOutput, const ConvGeometry &Geom,
+                      Tensor &GradWeight, Tensor &GradBias);
+
+/// Forward transposed convolution; weight [IC, OC, KH, KW], bias [OC].
+Tensor convTranspose2d(const Tensor &Input, const Tensor &Weight,
+                       const Tensor &Bias, const ConvGeometry &Geom);
+
+/// convTranspose2d with |Weight| and no bias.
+Tensor convTranspose2dAbs(const Tensor &Input, const Tensor &Weight,
+                          const ConvGeometry &Geom);
+
+/// Gradients of convTranspose2d.
+Tensor convTranspose2dBackward(const Tensor &Input, const Tensor &Weight,
+                               const Tensor &GradOutput,
+                               const ConvGeometry &Geom, Tensor &GradWeight,
+                               Tensor &GradBias);
+
+/// Elementwise max(x, 0).
+Tensor relu(const Tensor &Input);
+
+/// Elementwise derivative mask: 1 where Input > 0 else 0.
+Tensor reluMask(const Tensor &Input);
+
+/// Row-wise argmax of a rank-2 tensor.
+std::vector<int64_t> argmaxRows(const Tensor &Logits);
+
+/// Numerically stable row-wise softmax of a rank-2 tensor.
+Tensor softmaxRows(const Tensor &Logits);
+
+} // namespace genprove
+
+#endif // GENPROVE_TENSOR_OPS_H

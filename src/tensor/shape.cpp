@@ -1,0 +1,42 @@
+//===- tensor/shape.cpp ---------------------------------------*- C++ -*-===//
+
+#include "src/tensor/shape.h"
+
+#include "src/util/error.h"
+
+#include <sstream>
+
+namespace genprove {
+
+Shape::Shape(std::initializer_list<int64_t> InitDims) : Dims(InitDims) {}
+
+Shape::Shape(std::vector<int64_t> InitDims) : Dims(std::move(InitDims)) {}
+
+int64_t Shape::dim(int I) const {
+  const int R = static_cast<int>(Dims.size());
+  if (I < 0)
+    I += R;
+  check(I >= 0 && I < R, "shape dimension index out of range");
+  return Dims[static_cast<size_t>(I)];
+}
+
+int64_t Shape::numel() const {
+  int64_t N = 1;
+  for (int64_t D : Dims)
+    N *= D;
+  return N;
+}
+
+std::string Shape::toString() const {
+  std::ostringstream Out;
+  Out << '[';
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      Out << ", ";
+    Out << Dims[I];
+  }
+  Out << ']';
+  return Out.str();
+}
+
+} // namespace genprove

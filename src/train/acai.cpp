@@ -1,0 +1,128 @@
+//===- train/acai.cpp -----------------------------------------*- C++ -*-===//
+
+#include "src/train/acai.h"
+
+#include "src/train/loss.h"
+#include "src/train/optimizer.h"
+#include "src/train/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace genprove {
+
+Acai::Acai(Sequential EncoderNet, Sequential DecoderNet, Sequential CriticNet,
+           int64_t Latent)
+    : Encoder(std::move(EncoderNet)), Decoder(std::move(DecoderNet)),
+      Critic(std::move(CriticNet)), Latent(Latent) {}
+
+void Acai::train(const Dataset &Set, const Config &TrainConfig, Rng &Rand) {
+  std::vector<Param> AeParams = Encoder.params();
+  for (auto &P : Decoder.params())
+    AeParams.push_back(P);
+  Adam OptAe(AeParams, TrainConfig.LearningRate);
+  Adam OptCritic(Critic.params(), TrainConfig.LearningRate);
+
+  const int64_t N = Set.numImages();
+  for (int64_t Epoch = 0; Epoch < TrainConfig.Epochs; ++Epoch) {
+    std::vector<int64_t> Order(static_cast<size_t>(N));
+    std::iota(Order.begin(), Order.end(), 0);
+    for (int64_t I = N - 1; I > 0; --I)
+      std::swap(Order[static_cast<size_t>(I)],
+                Order[Rand.below(static_cast<uint64_t>(I + 1))]);
+
+    double EpochLoss = 0.0;
+    int64_t NumBatches = 0;
+    for (int64_t Start = 0; Start < N; Start += TrainConfig.BatchSize) {
+      const int64_t End = std::min(N, Start + TrainConfig.BatchSize);
+      const std::vector<int64_t> Idx(Order.begin() + Start,
+                                     Order.begin() + End);
+      const int64_t B = static_cast<int64_t>(Idx.size());
+      Tensor Batch = gatherImages(Set, Idx);
+
+      // --- AE reconstruction pass. ---
+      Encoder.zeroGrads();
+      Decoder.zeroGrads();
+      const Tensor Z = Encoder.forward(Batch);
+      const Tensor Recon = Decoder.forward(Z);
+      Tensor GradRecon;
+      const double ReconLoss = mseLoss(Recon, Batch, GradRecon);
+      const Tensor GradZ = Decoder.backward(GradRecon);
+      Encoder.backward(GradZ);
+
+      // --- Adversarial pass: decode a latent mixture, fool the critic. ---
+      // Mix each sample with a shuffled partner at a random alpha in
+      // [0, 0.5] (ACAI convention).
+      Tensor Zmix({B, Latent});
+      std::vector<double> Alphas(static_cast<size_t>(B));
+      std::vector<int64_t> Partner(static_cast<size_t>(B));
+      for (int64_t I = 0; I < B; ++I) {
+        Partner[static_cast<size_t>(I)] =
+            static_cast<int64_t>(Rand.below(static_cast<uint64_t>(B)));
+        Alphas[static_cast<size_t>(I)] = Rand.uniform(0.0, 0.5);
+      }
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J) {
+          const double A = Alphas[static_cast<size_t>(I)];
+          Zmix.at(I, J) = (1.0 - A) * Z.at(I, J) +
+                          A * Z.at(Partner[static_cast<size_t>(I)], J);
+        }
+      const Tensor Xmix = Decoder.forward(Zmix);
+      const Tensor AlphaHat = Critic.forward(Xmix); // [B, 1]
+      // AE wants critic(x_mix) -> 0.
+      Tensor GradAlphaHat({B, 1});
+      double AdvLoss = 0.0;
+      for (int64_t I = 0; I < B; ++I) {
+        AdvLoss += AlphaHat.at(I, 0) * AlphaHat.at(I, 0);
+        GradAlphaHat.at(I, 0) = TrainConfig.Lambda * 2.0 * AlphaHat.at(I, 0) /
+                                static_cast<double>(B);
+      }
+      AdvLoss /= static_cast<double>(B);
+      Critic.zeroGrads();
+      const Tensor GradXmix = Critic.backward(GradAlphaHat);
+      Critic.zeroGrads();
+      const Tensor GradZmix = Decoder.backward(GradXmix);
+      // Mixture gradients flow into the encoder through both endpoints;
+      // dropping the (detached) partner path matches the reference ACAI.
+      Tensor GradZFromMix({B, Latent});
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J)
+          GradZFromMix.at(I, J) =
+              (1.0 - Alphas[static_cast<size_t>(I)]) * GradZmix.at(I, J);
+      // Re-run the encoder forward to restore its caches for this input.
+      Encoder.forward(Batch);
+      Encoder.backward(GradZFromMix);
+      OptAe.step();
+      EpochLoss += ReconLoss + TrainConfig.Lambda * AdvLoss;
+      ++NumBatches;
+
+      // --- Critic pass: predict alpha on mixtures, 0 on real data. ---
+      Critic.zeroGrads();
+      {
+        const Tensor AlphaPred = Critic.forward(Xmix);
+        Tensor Grad({B, 1});
+        for (int64_t I = 0; I < B; ++I)
+          Grad.at(I, 0) = 2.0 *
+                          (AlphaPred.at(I, 0) -
+                           Alphas[static_cast<size_t>(I)]) /
+                          static_cast<double>(B);
+        Critic.backward(Grad);
+      }
+      {
+        const Tensor AlphaReal = Critic.forward(Batch);
+        Tensor Grad({B, 1});
+        for (int64_t I = 0; I < B; ++I)
+          Grad.at(I, 0) = 2.0 * AlphaReal.at(I, 0) / static_cast<double>(B);
+        Critic.backward(Grad);
+      }
+      OptCritic.step();
+    }
+    if (TrainConfig.Verbose)
+      std::printf("  acai epoch %lld loss %.5f\n",
+                  static_cast<long long>(Epoch),
+                  EpochLoss / static_cast<double>(NumBatches));
+  }
+}
+
+} // namespace genprove

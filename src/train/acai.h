@@ -1,0 +1,57 @@
+//===- train/acai.h - ACAI interpolation training ---------------*- C++ -*-===//
+///
+/// \file
+/// ACAI (Berthelot et al., 2018): an autoencoder trained with an
+/// adversarial critic that predicts the interpolation coefficient alpha
+/// from a decoded latent mixture. The regularizer pushes decoded
+/// interpolations toward the data manifold, which is why ACAI achieves the
+/// lowest discriminator upper bound in the paper's Table 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TRAIN_ACAI_H
+#define GENPROVE_TRAIN_ACAI_H
+
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Deterministic autoencoder with the ACAI adversarial regularizer.
+class Acai {
+public:
+  /// Encoder emits Latent units (deterministic AE, no logvar head);
+  /// the critic maps images to a single alpha estimate.
+  Acai(Sequential EncoderNet, Sequential DecoderNet, Sequential CriticNet,
+       int64_t Latent);
+
+  Tensor encode(const Tensor &Images) { return Encoder.predict(Images); }
+  Tensor decode(const Tensor &Latents) { return Decoder.predict(Latents); }
+  Sequential &encoder() { return Encoder; }
+  Sequential &decoder() { return Decoder; }
+  Sequential &critic() { return Critic; }
+  int64_t latentDim() const { return Latent; }
+
+  struct Config {
+    int64_t Epochs = 10;
+    int64_t BatchSize = 64;
+    double LearningRate = 1e-3;
+    double Lambda = 0.5; ///< weight of the adversarial term for the AE.
+    bool Verbose = false;
+  };
+
+  /// Alternates AE updates (MSE + lambda * critic(x_alpha)^2) with critic
+  /// updates ((critic(x_alpha) - alpha)^2 + critic(real)^2).
+  void train(const Dataset &Set, const Config &TrainConfig, Rng &Generator);
+
+private:
+  Sequential Encoder;
+  Sequential Decoder;
+  Sequential Critic;
+  int64_t Latent;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_TRAIN_ACAI_H

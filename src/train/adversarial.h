@@ -1,0 +1,95 @@
+//===- train/adversarial.h - Attacks and certified training ----*- C++ -*-===//
+///
+/// \file
+/// The Table 6 toolbox: FGSM and PGD attacks, interval-bound-propagation
+/// (IBP) forward/backward — the Box domain of DiffAI made differentiable —
+/// plus the three training schemes the paper compares (standard, FGSM
+/// adversarial, DiffAI/Box certified) and the Box-provable accuracy check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TRAIN_ADVERSARIAL_H
+#define GENPROVE_TRAIN_ADVERSARIAL_H
+
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// One-step fast gradient sign attack (Goodfellow et al.).
+/// Returns perturbed images clamped to [0, 1].
+Tensor fgsmAttack(Sequential &Network, const Tensor &Images,
+                  const std::vector<int64_t> &Labels, double Epsilon);
+
+/// Projected gradient descent attack (Madry et al.).
+Tensor pgdAttack(Sequential &Network, const Tensor &Images,
+                 const std::vector<int64_t> &Labels, double Epsilon,
+                 int64_t Steps, double StepSize, Rng &Generator);
+
+/// Accuracy under a PGD adversary with the paper's setting (5 iterations).
+double pgdAccuracy(Sequential &Network, const Dataset &Set, double Epsilon,
+                   int64_t Steps, Rng &Generator);
+
+/// Interval bounds on the network output for inputs in
+/// [Images - Epsilon, Images + Epsilon] (clamped to [0, 1]).
+struct IbpBounds {
+  Tensor Lo;
+  Tensor Hi;
+};
+
+/// Forward IBP through a network of Linear/Conv2d/ReLU/Flatten layers.
+IbpBounds ibpForward(Sequential &Network, const Tensor &LoIn,
+                     const Tensor &HiIn);
+
+/// Per-layer cache of incoming bounds, for the differentiable IBP pass.
+struct IbpCache {
+  Tensor LoIn;
+  Tensor HiIn;
+};
+
+/// Forward IBP that records per-layer caches for ibpBackward.
+IbpBounds ibpForwardCached(Sequential &Network, const Tensor &LoIn,
+                           const Tensor &HiIn, std::vector<IbpCache> &Caches);
+
+/// Backward through the IBP computation: accumulates parameter gradients
+/// from the given output-bound gradients (dL/dLo, dL/dHi).
+void ibpBackward(Sequential &Network, const std::vector<IbpCache> &Caches,
+                 Tensor DLo, Tensor DHi);
+
+/// Fraction of test images whose epsilon-ball is certified by the Box
+/// domain (lower bound of the true logit beats every other upper bound).
+double boxProvableAccuracy(Sequential &Network, const Dataset &Set,
+                           double Epsilon);
+
+/// Training schemes of Table 6.
+enum class TrainScheme {
+  Standard,   ///< plain cross-entropy.
+  Fgsm,       ///< 50/50 clean + FGSM adversarial examples.
+  DiffAiBox,  ///< IBP certified training with an epsilon ramp.
+};
+
+struct RobustTrainConfig {
+  int64_t Epochs = 6;
+  int64_t BatchSize = 64;
+  double LearningRate = 1e-3;
+  double Epsilon = 0.1;
+  /// DiffAI only: if true, skip the warmup/ramp and train at the full
+  /// epsilon with kappa = 0.5 from the first step (used as the final
+  /// stage of a curriculum).
+  bool ConstantEpsilon = false;
+  /// DiffAI only: cap on the certified-term gradient norm relative to the
+  /// clean-term gradient norm. Deeper networks need smaller ratios to
+  /// avoid collapsing to a constant classifier.
+  double IbpGradRatio = 2.0;
+  bool Verbose = false;
+};
+
+/// Train a classifier under the given scheme.
+void trainRobustClassifier(Sequential &Network, const Dataset &Set,
+                           TrainScheme Scheme, const RobustTrainConfig &Config,
+                           Rng &Generator);
+
+} // namespace genprove
+
+#endif // GENPROVE_TRAIN_ADVERSARIAL_H

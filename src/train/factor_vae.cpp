@@ -1,0 +1,134 @@
+//===- train/factor_vae.cpp -----------------------------------*- C++ -*-===//
+
+#include "src/train/factor_vae.h"
+
+#include "src/train/loss.h"
+#include "src/train/optimizer.h"
+#include "src/train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace genprove {
+
+FactorVae::FactorVae(Sequential EncoderNet, Sequential DecoderNet,
+                     Sequential CriticNet, int64_t Latent)
+    : Base(std::move(EncoderNet), std::move(DecoderNet), Latent),
+      Critic(std::move(CriticNet)) {}
+
+void FactorVae::train(const Dataset &Set, const Config &TrainConfig,
+                      Rng &Rand) {
+  Sequential &Encoder = Base.encoder();
+  Sequential &Decoder = Base.decoder();
+  const int64_t Latent = Base.latentDim();
+
+  std::vector<Param> VaeParams = Encoder.params();
+  for (auto &P : Decoder.params())
+    VaeParams.push_back(P);
+  Adam OptVae(VaeParams, TrainConfig.LearningRate);
+  Adam OptCritic(Critic.params(), TrainConfig.LearningRate);
+
+  const int64_t N = Set.numImages();
+  for (int64_t Epoch = 0; Epoch < TrainConfig.Epochs; ++Epoch) {
+    std::vector<int64_t> Order(static_cast<size_t>(N));
+    std::iota(Order.begin(), Order.end(), 0);
+    for (int64_t I = N - 1; I > 0; --I)
+      std::swap(Order[static_cast<size_t>(I)],
+                Order[Rand.below(static_cast<uint64_t>(I + 1))]);
+
+    double EpochLoss = 0.0;
+    int64_t NumBatches = 0;
+    for (int64_t Start = 0; Start < N; Start += TrainConfig.BatchSize) {
+      const int64_t End = std::min(N, Start + TrainConfig.BatchSize);
+      const std::vector<int64_t> Idx(Order.begin() + Start,
+                                     Order.begin() + End);
+      const int64_t B = static_cast<int64_t>(Idx.size());
+      Tensor Batch = gatherImages(Set, Idx);
+
+      // --- VAE pass with the extra TC term. ---
+      const Tensor MuLogVar = Encoder.forward(Batch);
+      Tensor Mu({B, Latent}), LogVar({B, Latent});
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J) {
+          Mu.at(I, J) = MuLogVar.at(I, J);
+          LogVar.at(I, J) = std::clamp(MuLogVar.at(I, Latent + J), -8.0, 8.0);
+        }
+      Tensor Eps({B, Latent}), Z({B, Latent});
+      for (int64_t I = 0; I < Z.numel(); ++I) {
+        Eps[I] = Rand.normal();
+        Z[I] = Mu[I] + std::exp(0.5 * LogVar[I]) * Eps[I];
+      }
+
+      const Tensor Recon = Decoder.forward(Z);
+      Tensor GradRecon;
+      const double ReconLoss = mseLoss(Recon, Batch, GradRecon);
+      Tensor GradZ = Decoder.backward(GradRecon);
+
+      // TC estimate: mean over the batch of (logit_joint - logit_perm).
+      const Tensor TcLogits = Critic.forward(Z);
+      double TcLoss = 0.0;
+      Tensor GradTcLogits({B, 2});
+      for (int64_t I = 0; I < B; ++I) {
+        TcLoss += TcLogits.at(I, 0) - TcLogits.at(I, 1);
+        GradTcLogits.at(I, 0) = TrainConfig.Gamma / static_cast<double>(B);
+        GradTcLogits.at(I, 1) = -TrainConfig.Gamma / static_cast<double>(B);
+      }
+      TcLoss /= static_cast<double>(B);
+      Critic.zeroGrads();
+      const Tensor GradZTc = Critic.backward(GradTcLogits);
+      Critic.zeroGrads(); // the critic is frozen during the VAE update
+      GradZ.addInPlace(GradZTc);
+
+      Tensor GradMu, GradLogVar;
+      const double KlLoss = gaussianKlLoss(Mu, LogVar, GradMu, GradLogVar);
+      Tensor GradMuLogVar({B, 2 * Latent});
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J) {
+          const double Dz = GradZ.at(I, J);
+          const double Sigma = std::exp(0.5 * LogVar.at(I, J));
+          GradMuLogVar.at(I, J) = Dz + TrainConfig.KlWeight * GradMu.at(I, J);
+          GradMuLogVar.at(I, Latent + J) =
+              Dz * Eps.at(I, J) * 0.5 * Sigma +
+              TrainConfig.KlWeight * GradLogVar.at(I, J);
+        }
+      Encoder.backward(GradMuLogVar);
+      OptVae.step();
+      EpochLoss +=
+          ReconLoss + TrainConfig.KlWeight * KlLoss + TrainConfig.Gamma * TcLoss;
+      ++NumBatches;
+
+      // --- Critic pass: joint codes class 0, permuted codes class 1. ---
+      Tensor Zperm = Z.clone();
+      for (int64_t J = 0; J < Latent; ++J) {
+        // Independent shuffle of each latent dimension across the batch.
+        for (int64_t I = B - 1; I > 0; --I) {
+          const int64_t K =
+              static_cast<int64_t>(Rand.below(static_cast<uint64_t>(I + 1)));
+          std::swap(Zperm.at(I, J), Zperm.at(K, J));
+        }
+      }
+      Tensor Both({2 * B, Latent});
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J) {
+          Both.at(I, J) = Z.at(I, J);
+          Both.at(B + I, J) = Zperm.at(I, J);
+        }
+      std::vector<int64_t> Labels(static_cast<size_t>(2 * B), 0);
+      for (int64_t I = 0; I < B; ++I)
+        Labels[static_cast<size_t>(B + I)] = 1;
+      const Tensor Logits = Critic.forward(Both);
+      Tensor GradLogits;
+      softmaxCrossEntropyLoss(Logits, Labels, GradLogits);
+      Critic.backward(GradLogits);
+      OptCritic.step();
+    }
+    if (TrainConfig.Verbose)
+      std::printf("  factorvae epoch %lld loss %.5f\n",
+                  static_cast<long long>(Epoch),
+                  EpochLoss / static_cast<double>(NumBatches));
+  }
+}
+
+} // namespace genprove

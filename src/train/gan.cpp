@@ -1,0 +1,82 @@
+//===- train/gan.cpp ------------------------------------------*- C++ -*-===//
+
+#include "src/train/gan.h"
+
+#include "src/train/loss.h"
+#include "src/train/optimizer.h"
+#include "src/train/trainer.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace genprove {
+
+Gan::Gan(Sequential GeneratorNet, Sequential DiscriminatorNet, int64_t Latent)
+    : Generator(std::move(GeneratorNet)),
+      Discriminator(std::move(DiscriminatorNet)), Latent(Latent) {}
+
+void Gan::train(const Dataset &Set, const Config &TrainConfig, Rng &Rand) {
+  Adam OptG(Generator.params(), TrainConfig.LearningRate);
+  Adam OptD(Discriminator.params(), TrainConfig.LearningRate);
+  const int64_t N = Set.numImages();
+
+  for (int64_t Epoch = 0; Epoch < TrainConfig.Epochs; ++Epoch) {
+    std::vector<int64_t> Order(static_cast<size_t>(N));
+    std::iota(Order.begin(), Order.end(), 0);
+    for (int64_t I = N - 1; I > 0; --I)
+      std::swap(Order[static_cast<size_t>(I)],
+                Order[Rand.below(static_cast<uint64_t>(I + 1))]);
+
+    double Dloss = 0.0, Gloss = 0.0;
+    int64_t NumBatches = 0;
+    for (int64_t Start = 0; Start < N; Start += TrainConfig.BatchSize) {
+      const int64_t End = std::min(N, Start + TrainConfig.BatchSize);
+      const std::vector<int64_t> Idx(Order.begin() + Start,
+                                     Order.begin() + End);
+      const int64_t B = static_cast<int64_t>(Idx.size());
+      Tensor Real = gatherImages(Set, Idx);
+      Tensor Noise = Tensor::randn({B, Latent}, Rand);
+
+      // --- Discriminator step: real -> 1. ---
+      Discriminator.zeroGrads();
+      {
+        const Tensor ScoreReal = Discriminator.forward(Real);
+        Tensor GradReal;
+        Dloss += mseLoss(ScoreReal, Tensor::full(ScoreReal.shape(), 1.0),
+                         GradReal);
+        Discriminator.backward(GradReal);
+      }
+      // Fake -> 0 (generator detached: its grads are not stepped here).
+      const Tensor Fake = Generator.forward(Noise);
+      {
+        const Tensor ScoreFake = Discriminator.forward(Fake);
+        Tensor GradFake;
+        Dloss += mseLoss(ScoreFake, Tensor::zeros(ScoreFake.shape()),
+                         GradFake);
+        Discriminator.backward(GradFake);
+      }
+      OptD.step();
+
+      // --- Generator step: D(G(z)) -> 1. ---
+      Generator.zeroGrads();
+      const Tensor Fake2 = Generator.forward(Noise);
+      const Tensor ScoreFake2 = Discriminator.forward(Fake2);
+      Tensor GradScore;
+      Gloss += mseLoss(ScoreFake2, Tensor::full(ScoreFake2.shape(), 1.0),
+                       GradScore);
+      Discriminator.zeroGrads(); // discard D grads from the G pass
+      const Tensor GradImages = Discriminator.backward(GradScore);
+      Discriminator.zeroGrads();
+      Generator.backward(GradImages);
+      OptG.step();
+      ++NumBatches;
+    }
+    if (TrainConfig.Verbose)
+      std::printf("  gan epoch %lld D %.4f G %.4f\n",
+                  static_cast<long long>(Epoch),
+                  Dloss / static_cast<double>(NumBatches),
+                  Gloss / static_cast<double>(NumBatches));
+  }
+}
+
+} // namespace genprove

@@ -1,0 +1,50 @@
+//===- train/gan.h - LSGAN discriminator/generator -------------*- C++ -*-===//
+///
+/// \file
+/// A least-squares GAN (the paper's "vanilla GAN ... modified to use MSE
+/// ... to avoid sigmoids"). The Table 7 experiment uses the trained
+/// discriminator as a naive out-of-distribution detector: output > 0.5
+/// reads as "real".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TRAIN_GAN_H
+#define GENPROVE_TRAIN_GAN_H
+
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Generator + discriminator pair with LSGAN training.
+class Gan {
+public:
+  /// Generator maps [B, Latent] noise to images; discriminator maps images
+  /// to a single real-ness score.
+  Gan(Sequential GeneratorNet, Sequential DiscriminatorNet, int64_t Latent);
+
+  Sequential &generator() { return Generator; }
+  Sequential &discriminator() { return Discriminator; }
+  int64_t latentDim() const { return Latent; }
+
+  struct Config {
+    int64_t Epochs = 10;
+    int64_t BatchSize = 64;
+    double LearningRate = 2e-4;
+    bool Verbose = false;
+  };
+
+  /// LSGAN training: D minimizes (D(x)-1)^2 + D(G(z))^2, G minimizes
+  /// (D(G(z))-1)^2.
+  void train(const Dataset &Set, const Config &TrainConfig, Rng &Generator);
+
+private:
+  Sequential Generator;
+  Sequential Discriminator;
+  int64_t Latent;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_TRAIN_GAN_H

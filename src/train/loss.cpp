@@ -1,0 +1,86 @@
+//===- train/loss.cpp -----------------------------------------*- C++ -*-===//
+
+#include "src/train/loss.h"
+
+#include "src/util/error.h"
+
+#include <cmath>
+
+namespace genprove {
+
+double mseLoss(const Tensor &Pred, const Tensor &Target, Tensor &GradPred) {
+  check(Pred.numel() == Target.numel(), "mseLoss shape mismatch");
+  GradPred = Tensor(Pred.shape());
+  const double Scale = 1.0 / static_cast<double>(Pred.numel());
+  double Loss = 0.0;
+  for (int64_t I = 0; I < Pred.numel(); ++I) {
+    const double Diff = Pred[I] - Target[I];
+    Loss += Diff * Diff;
+    GradPred[I] = 2.0 * Diff * Scale;
+  }
+  return Loss * Scale;
+}
+
+double bceWithLogitsLoss(const Tensor &Logits, const Tensor &Targets,
+                         Tensor &GradLogits) {
+  check(Logits.numel() == Targets.numel(), "bce shape mismatch");
+  GradLogits = Tensor(Logits.shape());
+  const double Scale = 1.0 / static_cast<double>(Logits.numel());
+  double Loss = 0.0;
+  for (int64_t I = 0; I < Logits.numel(); ++I) {
+    const double X = Logits[I];
+    const double T = Targets[I];
+    // Numerically stable: max(x,0) - x*t + log(1 + exp(-|x|)).
+    Loss += std::max(X, 0.0) - X * T + std::log1p(std::exp(-std::fabs(X)));
+    const double Sigmoid = 1.0 / (1.0 + std::exp(-X));
+    GradLogits[I] = (Sigmoid - T) * Scale;
+  }
+  return Loss * Scale;
+}
+
+double softmaxCrossEntropyLoss(const Tensor &Logits,
+                               const std::vector<int64_t> &Labels,
+                               Tensor &GradLogits) {
+  check(Logits.rank() == 2, "cross entropy needs rank-2 logits");
+  const int64_t B = Logits.dim(0), C = Logits.dim(1);
+  check(static_cast<int64_t>(Labels.size()) == B, "label count mismatch");
+  GradLogits = Tensor(Logits.shape());
+  double Loss = 0.0;
+  for (int64_t I = 0; I < B; ++I) {
+    double Max = Logits.at(I, 0);
+    for (int64_t J = 1; J < C; ++J)
+      Max = std::max(Max, Logits.at(I, J));
+    double Sum = 0.0;
+    for (int64_t J = 0; J < C; ++J)
+      Sum += std::exp(Logits.at(I, J) - Max);
+    const double LogSum = std::log(Sum) + Max;
+    const int64_t Label = Labels[static_cast<size_t>(I)];
+    Loss += LogSum - Logits.at(I, Label);
+    for (int64_t J = 0; J < C; ++J) {
+      const double P = std::exp(Logits.at(I, J) - LogSum);
+      GradLogits.at(I, J) =
+          (P - (J == Label ? 1.0 : 0.0)) / static_cast<double>(B);
+    }
+  }
+  return Loss / static_cast<double>(B);
+}
+
+double gaussianKlLoss(const Tensor &Mu, const Tensor &LogVar, Tensor &GradMu,
+                      Tensor &GradLogVar) {
+  check(Mu.numel() == LogVar.numel(), "KL shape mismatch");
+  const int64_t B = Mu.dim(0);
+  GradMu = Tensor(Mu.shape());
+  GradLogVar = Tensor(LogVar.shape());
+  double Loss = 0.0;
+  const double Scale = 1.0 / static_cast<double>(B);
+  for (int64_t I = 0; I < Mu.numel(); ++I) {
+    const double M = Mu[I];
+    const double Lv = LogVar[I];
+    Loss += 0.5 * (std::exp(Lv) + M * M - 1.0 - Lv);
+    GradMu[I] = M * Scale;
+    GradLogVar[I] = 0.5 * (std::exp(Lv) - 1.0) * Scale;
+  }
+  return Loss * Scale;
+}
+
+} // namespace genprove

@@ -1,0 +1,39 @@
+//===- train/loss.h - Loss functions ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Losses return the scalar value and write the gradient with respect to
+/// the prediction into an output tensor, ready to feed Sequential::backward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TRAIN_LOSS_H
+#define GENPROVE_TRAIN_LOSS_H
+
+#include "src/tensor/tensor.h"
+
+namespace genprove {
+
+/// Mean squared error over the whole batch tensor. The paper's generative
+/// models all use MSE reconstruction losses ("modified to use MSE ... to
+/// avoid sigmoids").
+double mseLoss(const Tensor &Pred, const Tensor &Target, Tensor &GradPred);
+
+/// Binary cross-entropy with logits, one logit per attribute
+/// (multi-label). Targets are 0/1 per entry.
+double bceWithLogitsLoss(const Tensor &Logits, const Tensor &Targets,
+                         Tensor &GradLogits);
+
+/// Softmax cross-entropy over rank-2 logits with integer class labels.
+double softmaxCrossEntropyLoss(const Tensor &Logits,
+                               const std::vector<int64_t> &Labels,
+                               Tensor &GradLogits);
+
+/// KL(q(z|x) || N(0, I)) for a diagonal Gaussian with the given mean and
+/// log-variance rows; adds gradients into GradMu / GradLogVar. Returns the
+/// mean KL per sample.
+double gaussianKlLoss(const Tensor &Mu, const Tensor &LogVar, Tensor &GradMu,
+                      Tensor &GradLogVar);
+
+} // namespace genprove
+
+#endif // GENPROVE_TRAIN_LOSS_H

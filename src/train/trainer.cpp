@@ -1,0 +1,142 @@
+//===- train/trainer.cpp --------------------------------------*- C++ -*-===//
+
+#include "src/train/trainer.h"
+
+#include "src/tensor/ops.h"
+#include "src/train/loss.h"
+#include "src/train/optimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace genprove {
+
+Tensor gatherImages(const Dataset &Set, const std::vector<int64_t> &Indices) {
+  const int64_t Numel = Set.Channels * Set.Size * Set.Size;
+  Tensor Batch({static_cast<int64_t>(Indices.size()), Set.Channels, Set.Size,
+                Set.Size});
+  for (size_t I = 0; I < Indices.size(); ++I)
+    std::copy(Set.Images.data() + Indices[I] * Numel,
+              Set.Images.data() + (Indices[I] + 1) * Numel,
+              Batch.data() + static_cast<int64_t>(I) * Numel);
+  return Batch;
+}
+
+namespace {
+
+std::vector<int64_t> shuffledIndices(int64_t N, Rng &Generator) {
+  std::vector<int64_t> Idx(static_cast<size_t>(N));
+  std::iota(Idx.begin(), Idx.end(), 0);
+  for (int64_t I = N - 1; I > 0; --I)
+    std::swap(Idx[static_cast<size_t>(I)],
+              Idx[Generator.below(static_cast<uint64_t>(I + 1))]);
+  return Idx;
+}
+
+} // namespace
+
+void trainClassifier(Sequential &Network, const Dataset &Set,
+                     const TrainConfig &Config, Rng &Generator) {
+  Adam Opt(Network.params(), Config.LearningRate);
+  const int64_t N = Set.numImages();
+  for (int64_t Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    const auto Order = shuffledIndices(N, Generator);
+    double EpochLoss = 0.0;
+    int64_t NumBatches = 0;
+    for (int64_t Start = 0; Start < N; Start += Config.BatchSize) {
+      const int64_t End = std::min(N, Start + Config.BatchSize);
+      const std::vector<int64_t> Idx(Order.begin() + Start,
+                                     Order.begin() + End);
+      Tensor Batch = gatherImages(Set, Idx);
+      std::vector<int64_t> Labels(Idx.size());
+      for (size_t I = 0; I < Idx.size(); ++I)
+        Labels[I] = Set.Labels[static_cast<size_t>(Idx[I])];
+      const Tensor Logits = Network.forward(Batch);
+      Tensor Grad;
+      EpochLoss += softmaxCrossEntropyLoss(Logits, Labels, Grad);
+      ++NumBatches;
+      Network.backward(Grad);
+      Opt.step();
+    }
+    if (Config.Verbose)
+      std::printf("  classifier epoch %lld loss %.4f\n",
+                  static_cast<long long>(Epoch),
+                  EpochLoss / static_cast<double>(NumBatches));
+  }
+}
+
+void trainAttributeDetector(Sequential &Network, const Dataset &Set,
+                            const TrainConfig &Config, Rng &Generator) {
+  Adam Opt(Network.params(), Config.LearningRate);
+  const int64_t N = Set.numImages();
+  const int64_t A = Set.numAttributes();
+  for (int64_t Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    const auto Order = shuffledIndices(N, Generator);
+    double EpochLoss = 0.0;
+    int64_t NumBatches = 0;
+    for (int64_t Start = 0; Start < N; Start += Config.BatchSize) {
+      const int64_t End = std::min(N, Start + Config.BatchSize);
+      const std::vector<int64_t> Idx(Order.begin() + Start,
+                                     Order.begin() + End);
+      Tensor Batch = gatherImages(Set, Idx);
+      Tensor Targets({static_cast<int64_t>(Idx.size()), A});
+      for (size_t I = 0; I < Idx.size(); ++I)
+        for (int64_t J = 0; J < A; ++J)
+          Targets.at(static_cast<int64_t>(I), J) =
+              Set.Attributes.at(Idx[I], J);
+      const Tensor Logits = Network.forward(Batch);
+      Tensor Grad;
+      EpochLoss += bceWithLogitsLoss(Logits, Targets, Grad);
+      ++NumBatches;
+      Network.backward(Grad);
+      Opt.step();
+    }
+    if (Config.Verbose)
+      std::printf("  detector epoch %lld loss %.4f\n",
+                  static_cast<long long>(Epoch),
+                  EpochLoss / static_cast<double>(NumBatches));
+  }
+}
+
+double classifierAccuracy(Sequential &Network, const Dataset &Set) {
+  const int64_t N = Set.numImages();
+  int64_t Correct = 0;
+  const int64_t Chunk = 128;
+  for (int64_t Start = 0; Start < N; Start += Chunk) {
+    const int64_t End = std::min(N, Start + Chunk);
+    std::vector<int64_t> Idx;
+    for (int64_t I = Start; I < End; ++I)
+      Idx.push_back(I);
+    const Tensor Logits = Network.predict(gatherImages(Set, Idx));
+    const auto Pred = argmaxRows(Logits);
+    for (size_t I = 0; I < Idx.size(); ++I)
+      if (Pred[I] == Set.Labels[static_cast<size_t>(Idx[I])])
+        ++Correct;
+  }
+  return static_cast<double>(Correct) / static_cast<double>(N);
+}
+
+double attributeAccuracy(Sequential &Network, const Dataset &Set) {
+  const int64_t N = Set.numImages();
+  const int64_t A = Set.numAttributes();
+  int64_t Correct = 0;
+  const int64_t Chunk = 128;
+  for (int64_t Start = 0; Start < N; Start += Chunk) {
+    const int64_t End = std::min(N, Start + Chunk);
+    std::vector<int64_t> Idx;
+    for (int64_t I = Start; I < End; ++I)
+      Idx.push_back(I);
+    const Tensor Logits = Network.predict(gatherImages(Set, Idx));
+    for (size_t I = 0; I < Idx.size(); ++I)
+      for (int64_t J = 0; J < A; ++J) {
+        const bool Predicted = Logits.at(static_cast<int64_t>(I), J) > 0.0;
+        const bool Actual = Set.Attributes.at(Idx[I], J) > 0.5;
+        if (Predicted == Actual)
+          ++Correct;
+      }
+  }
+  return static_cast<double>(Correct) / static_cast<double>(N * A);
+}
+
+} // namespace genprove

@@ -1,0 +1,47 @@
+//===- train/trainer.h - Supervised training loops -------------*- C++ -*-===//
+///
+/// \file
+/// Training loops for the paper's target networks: multi-class classifiers
+/// (softmax cross-entropy, Zappos50k/MNIST) and multi-label attribute
+/// detectors (BCE with logits, CelebA; "an attribute is detected if the
+/// i-th output is strictly positive").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TRAIN_TRAINER_H
+#define GENPROVE_TRAIN_TRAINER_H
+
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Knobs shared by the supervised loops.
+struct TrainConfig {
+  int64_t Epochs = 10;
+  int64_t BatchSize = 64;
+  double LearningRate = 1e-3;
+  bool Verbose = false;
+};
+
+/// Extract a [B, C, H, W] mini-batch by index list.
+Tensor gatherImages(const Dataset &Set, const std::vector<int64_t> &Indices);
+
+/// Train a multi-class classifier with Adam + softmax cross-entropy.
+void trainClassifier(Sequential &Network, const Dataset &Set,
+                     const TrainConfig &Config, Rng &Generator);
+
+/// Train a multi-label attribute detector with Adam + BCE-with-logits.
+void trainAttributeDetector(Sequential &Network, const Dataset &Set,
+                            const TrainConfig &Config, Rng &Generator);
+
+/// Top-1 accuracy of a classifier on a labeled dataset.
+double classifierAccuracy(Sequential &Network, const Dataset &Set);
+
+/// Mean per-attribute sign accuracy of an attribute detector.
+double attributeAccuracy(Sequential &Network, const Dataset &Set);
+
+} // namespace genprove
+
+#endif // GENPROVE_TRAIN_TRAINER_H

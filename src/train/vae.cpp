@@ -1,0 +1,113 @@
+//===- train/vae.cpp ------------------------------------------*- C++ -*-===//
+
+#include "src/train/vae.h"
+
+#include "src/train/loss.h"
+#include "src/train/optimizer.h"
+#include "src/train/trainer.h"
+#include "src/util/error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace genprove {
+
+Vae::Vae(Sequential EncoderNet, Sequential DecoderNet, int64_t Latent)
+    : Encoder(std::move(EncoderNet)), Decoder(std::move(DecoderNet)),
+      Latent(Latent) {}
+
+Tensor Vae::encode(const Tensor &Images) {
+  const Tensor MuLogVar = Encoder.predict(Images);
+  check(MuLogVar.dim(1) == 2 * Latent, "encoder must emit 2*latent units");
+  const int64_t B = MuLogVar.dim(0);
+  Tensor Mu({B, Latent});
+  for (int64_t I = 0; I < B; ++I)
+    for (int64_t J = 0; J < Latent; ++J)
+      Mu.at(I, J) = MuLogVar.at(I, J);
+  return Mu;
+}
+
+Tensor Vae::decode(const Tensor &Latents) { return Decoder.predict(Latents); }
+
+double Vae::train(const Dataset &Set, const Config &TrainConfig,
+                  Rng &Generator) {
+  std::vector<Param> AllParams = Encoder.params();
+  for (auto &P : Decoder.params())
+    AllParams.push_back(P);
+  Adam Opt(AllParams, TrainConfig.LearningRate);
+
+  const int64_t N = Set.numImages();
+  double LastEpochLoss = 0.0;
+  for (int64_t Epoch = 0; Epoch < TrainConfig.Epochs; ++Epoch) {
+    std::vector<int64_t> Order(static_cast<size_t>(N));
+    std::iota(Order.begin(), Order.end(), 0);
+    for (int64_t I = N - 1; I > 0; --I)
+      std::swap(Order[static_cast<size_t>(I)],
+                Order[Generator.below(static_cast<uint64_t>(I + 1))]);
+
+    double EpochLoss = 0.0;
+    int64_t NumBatches = 0;
+    for (int64_t Start = 0; Start < N; Start += TrainConfig.BatchSize) {
+      const int64_t End = std::min(N, Start + TrainConfig.BatchSize);
+      const std::vector<int64_t> Idx(Order.begin() + Start,
+                                     Order.begin() + End);
+      const int64_t B = static_cast<int64_t>(Idx.size());
+      Tensor Batch = gatherImages(Set, Idx);
+
+      // Encoder forward; split into mu / logvar views.
+      const Tensor MuLogVar = Encoder.forward(Batch);
+      Tensor Mu({B, Latent});
+      Tensor LogVar({B, Latent});
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J) {
+          Mu.at(I, J) = MuLogVar.at(I, J);
+          LogVar.at(I, J) = std::clamp(MuLogVar.at(I, Latent + J), -8.0, 8.0);
+        }
+
+      // Reparameterize: z = mu + exp(logvar/2) * eps.
+      Tensor Eps({B, Latent});
+      Tensor Z({B, Latent});
+      for (int64_t I = 0; I < Z.numel(); ++I) {
+        Eps[I] = Generator.normal();
+        Z[I] = Mu[I] + std::exp(0.5 * LogVar[I]) * Eps[I];
+      }
+
+      // Decode + reconstruction loss.
+      const Tensor Recon = Decoder.forward(Z);
+      Tensor GradRecon;
+      const double ReconLoss = mseLoss(Recon, Batch, GradRecon);
+      const Tensor GradZFlat = Decoder.backward(GradRecon); // [B, Latent]
+
+      // KL term.
+      Tensor GradMu, GradLogVar;
+      const double KlLoss = gaussianKlLoss(Mu, LogVar, GradMu, GradLogVar);
+
+      // Assemble encoder output gradient.
+      Tensor GradMuLogVar({B, 2 * Latent});
+      for (int64_t I = 0; I < B; ++I)
+        for (int64_t J = 0; J < Latent; ++J) {
+          const double Dz = GradZFlat.at(I, J);
+          const double Sigma = std::exp(0.5 * LogVar.at(I, J));
+          GradMuLogVar.at(I, J) =
+              Dz + TrainConfig.KlWeight * GradMu.at(I, J);
+          GradMuLogVar.at(I, Latent + J) =
+              Dz * Eps.at(I, J) * 0.5 * Sigma +
+              TrainConfig.KlWeight * GradLogVar.at(I, J);
+        }
+      Encoder.backward(GradMuLogVar);
+      Opt.step();
+
+      EpochLoss += ReconLoss + TrainConfig.KlWeight * KlLoss;
+      ++NumBatches;
+    }
+    LastEpochLoss = EpochLoss / static_cast<double>(NumBatches);
+    if (TrainConfig.Verbose)
+      std::printf("  vae epoch %lld loss %.5f\n",
+                  static_cast<long long>(Epoch), LastEpochLoss);
+  }
+  return LastEpochLoss;
+}
+
+} // namespace genprove

@@ -1,0 +1,60 @@
+//===- train/vae.h - Variational autoencoder -------------------*- C++ -*-===//
+///
+/// \file
+/// The VAE (Kingma & Welling) used by every generative specification in the
+/// paper. The encoder emits [mu, logvar]; encode() returns the mean, which
+/// is the deterministic embedding the specifications interpolate between.
+/// Reconstruction uses MSE (the paper modifies all models "to use MSE as
+/// their reconstruction loss to avoid sigmoids").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_TRAIN_VAE_H
+#define GENPROVE_TRAIN_VAE_H
+
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/util/rng.h"
+
+namespace genprove {
+
+/// Encoder/decoder pair with the VAE training loop.
+class Vae {
+public:
+  /// Takes ownership of the two networks. Encoder output dim must be
+  /// 2 * Latent.
+  Vae(Sequential EncoderNet, Sequential DecoderNet, int64_t Latent);
+
+  /// Deterministic embedding: the mean head of the encoder. [B, Latent].
+  Tensor encode(const Tensor &Images);
+
+  /// Decode latents [B, Latent] to images.
+  Tensor decode(const Tensor &Latents);
+
+  Sequential &encoder() { return Encoder; }
+  Sequential &decoder() { return Decoder; }
+  const Sequential &decoder() const { return Decoder; }
+  int64_t latentDim() const { return Latent; }
+
+  /// VAE training configuration.
+  struct Config {
+    int64_t Epochs = 10;
+    int64_t BatchSize = 64;
+    double LearningRate = 1e-3;
+    double KlWeight = 1e-3; ///< beta on the KL term (small: crisp recons).
+    bool Verbose = false;
+  };
+
+  /// Train with Adam on the ELBO (MSE reconstruction + beta * KL).
+  /// Returns the final epoch's mean loss.
+  double train(const Dataset &Set, const Config &TrainConfig, Rng &Generator);
+
+private:
+  Sequential Encoder;
+  Sequential Decoder;
+  int64_t Latent;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_TRAIN_VAE_H

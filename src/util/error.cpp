@@ -1,0 +1,15 @@
+//===- util/error.cpp -----------------------------------------*- C++ -*-===//
+
+#include "src/util/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace genprove {
+
+void fatalError(const std::string &Message) {
+  std::fprintf(stderr, "genprove fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+} // namespace genprove

@@ -1,0 +1,35 @@
+//===- util/error.h - Fatal error reporting and assertions -----*- C++ -*-===//
+//
+// GenProve-cpp: robustness certification with generative models.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting helpers. The library avoids exceptions (per the LLVM
+/// coding standard); unrecoverable conditions print a message and abort,
+/// recoverable analysis failures (e.g. simulated out-of-memory) are plain
+/// status values on the result types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_UTIL_ERROR_H
+#define GENPROVE_UTIL_ERROR_H
+
+#include <string>
+
+namespace genprove {
+
+/// Print \p Message to stderr and abort. Used for programmer errors and
+/// broken invariants that cannot be recovered from.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Like assert(), but always compiled in and with a message. Use for
+/// conditions that guard against silent numerical corruption.
+inline void check(bool Condition, const char *Message) {
+  if (!Condition)
+    fatalError(Message);
+}
+
+} // namespace genprove
+
+#endif // GENPROVE_UTIL_ERROR_H

@@ -1,0 +1,83 @@
+//===- util/rng.cpp -------------------------------------------*- C++ -*-===//
+
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace genprove {
+
+namespace {
+uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+} // namespace
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+double Rng::normal() {
+  if (HasSpare) {
+    HasSpare = false;
+    return Spare;
+  }
+  double U1 = 0.0;
+  do {
+    U1 = uniform();
+  } while (U1 <= 1e-300);
+  const double U2 = uniform();
+  const double R = std::sqrt(-2.0 * std::log(U1));
+  const double Theta = 2.0 * M_PI * U2;
+  Spare = R * std::sin(Theta);
+  HasSpare = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::normal(double Mean, double Stddev) {
+  return Mean + Stddev * normal();
+}
+
+uint64_t Rng::below(uint64_t N) {
+  if (N == 0)
+    return 0;
+  // Rejection-free Lemire-style mapping is fine for benchmark purposes.
+  return next() % N;
+}
+
+bool Rng::bernoulli(double P) { return uniform() < P; }
+
+double Rng::arcsine() {
+  // Inverse CDF of the arcsine distribution: F^-1(u) = sin^2(pi*u/2).
+  const double S = std::sin(M_PI * uniform() / 2.0);
+  return S * S;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+} // namespace genprove

@@ -1,0 +1,57 @@
+//===- util/rng.h - Deterministic random number generation -----*- C++ -*-===//
+///
+/// \file
+/// A small, fast, reproducible RNG (xoshiro256++). Every stochastic piece of
+/// the system (weight init, dataset synthesis, sampling baselines, attacks)
+/// takes an explicit Rng so experiments are deterministic given a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_UTIL_RNG_H
+#define GENPROVE_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace genprove {
+
+/// xoshiro256++ pseudo random generator with convenience samplers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double Mean, double Stddev);
+
+  /// Uniform integer in [0, N).
+  uint64_t below(uint64_t N);
+
+  /// Bernoulli trial with probability P of true.
+  bool bernoulli(double P);
+
+  /// Arcsine-distributed sample on [0, 1] (density 1/(pi*sqrt(t(1-t)))).
+  double arcsine();
+
+  /// Split off an independent stream (useful for parallel workloads).
+  Rng split();
+
+private:
+  uint64_t State[4];
+  bool HasSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_UTIL_RNG_H

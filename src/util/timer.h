@@ -1,0 +1,35 @@
+//===- util/timer.h - Wall-clock timing -----------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal wall-clock stopwatch used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_UTIL_TIMER_H
+#define GENPROVE_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace genprove {
+
+/// Wall-clock stopwatch; starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Restart the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_UTIL_TIMER_H

@@ -1,0 +1,111 @@
+//===- tests/consistency_test.cpp - consistency evaluation ------*- C++ -*-===//
+
+#include "src/core/consistency.h"
+#include "src/data/synth_faces.h"
+#include "src/data/synth_shoes.h"
+#include "src/nn/architectures.h"
+#include "src/nn/init.h"
+
+#include <gtest/gtest.h>
+
+namespace genprove {
+namespace {
+
+TEST(Pairs, SameClassPairsShareLabels) {
+  const Dataset Set = makeSynthShoes(200, 16, 1);
+  Rng R(1);
+  const auto Pairs = sameClassPairs(Set, 30, R);
+  EXPECT_EQ(Pairs.size(), 30u);
+  for (const auto &P : Pairs) {
+    EXPECT_NE(P.First, P.Second);
+    EXPECT_EQ(Set.Labels[static_cast<size_t>(P.First)],
+              Set.Labels[static_cast<size_t>(P.Second)]);
+  }
+}
+
+TEST(Pairs, SameAttributePairsShareAllAttributes) {
+  const Dataset Set = makeSynthFaces(400, 16, 2);
+  Rng R(2);
+  const auto Pairs = sameAttributePairs(Set, 20, R);
+  EXPECT_FALSE(Pairs.empty());
+  for (const auto &P : Pairs) {
+    EXPECT_NE(P.First, P.Second);
+    for (int64_t J = 0; J < Set.numAttributes(); ++J)
+      EXPECT_DOUBLE_EQ(Set.Attributes.at(P.First, J),
+                       Set.Attributes.at(P.Second, J));
+  }
+}
+
+TEST(Pairs, FlipPairsSelfPaired) {
+  Rng R(3);
+  const auto Pairs = flipPairs(50, 10, R);
+  EXPECT_EQ(Pairs.size(), 10u);
+  for (const auto &P : Pairs) {
+    EXPECT_EQ(P.First, P.Second);
+    EXPECT_LT(P.First, 50);
+  }
+}
+
+/// Small end-to-end consistency run over a lightly trained VAE + detector.
+TEST(Consistency, EvaluationProducesCoherentReport) {
+  const Dataset Set = makeSynthFaces(150, 16, 4);
+  Rng R(4);
+  Sequential Enc = makeEncoderSmall(3, 16, 2 * 4);
+  Sequential Dec = makeDecoderSmall(4, 3, 16);
+  kaimingInit(Enc, R);
+  kaimingInit(Dec, R);
+  Vae Model(std::move(Enc), std::move(Dec), 4);
+  Vae::Config VC;
+  VC.Epochs = 1;
+  Model.train(Set, VC, R);
+
+  Sequential Detector = makeConvSmall(3, 16, Set.numAttributes());
+  kaimingInit(Detector, R);
+
+  const auto Pairs = sameAttributePairs(Set, 4, R);
+  ASSERT_FALSE(Pairs.empty());
+
+  GenProveConfig Config;
+  Config.RelaxPercent = 0.1;
+  Config.ClusterK = 20.0;
+  Config.NodeThreshold = 100;
+  const GenProve Analyzer(Config);
+  const ConsistencyReport Report = evaluateConsistency(
+      Analyzer, Model, Detector, Set, Pairs, SpecTarget::AllAttributes);
+
+  EXPECT_EQ(Report.NumBounds,
+            static_cast<int64_t>(Pairs.size()) * Set.numAttributes());
+  EXPECT_GE(Report.MeanLower, 0.0);
+  EXPECT_LE(Report.MeanUpper, 1.0);
+  EXPECT_LE(Report.MeanLower, Report.MeanUpper + 1e-12);
+  EXPECT_GE(Report.MeanWidth, 0.0);
+  EXPECT_GE(Report.FractionNonTrivial, 0.0);
+  EXPECT_LE(Report.FractionNonTrivial, 1.0);
+}
+
+TEST(Consistency, ExactAnalysisGivesZeroWidths) {
+  const Dataset Set = makeSynthShoes(100, 16, 5);
+  Rng R(5);
+  Sequential Enc = makeEncoderSmall(3, 16, 2 * 4);
+  Sequential Dec = makeDecoderSmall(4, 3, 16);
+  kaimingInit(Enc, R);
+  kaimingInit(Dec, R);
+  Vae Model(std::move(Enc), std::move(Dec), 4);
+  Vae::Config VC;
+  VC.Epochs = 1;
+  Model.train(Set, VC, R);
+
+  Sequential Classifier = makeConvSmall(3, 16, Set.numClasses());
+  kaimingInit(Classifier, R);
+
+  const auto Pairs = sameClassPairs(Set, 2, R);
+  GenProveConfig Config; // exact (p = 0), unlimited memory
+  const GenProve Analyzer(Config);
+  const ConsistencyReport Report = evaluateConsistency(
+      Analyzer, Model, Classifier, Set, Pairs, SpecTarget::ClassLabel);
+  EXPECT_EQ(Report.FractionOom, 0.0);
+  EXPECT_NEAR(Report.MeanWidth, 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace genprove

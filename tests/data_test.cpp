@@ -1,0 +1,159 @@
+//===- tests/data_test.cpp - synthetic dataset generators -------*- C++ -*-===//
+
+#include "src/data/synth_digits.h"
+#include "src/data/synth_faces.h"
+#include "src/data/synth_shoes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genprove {
+namespace {
+
+TEST(SynthFaces, ShapesAndRanges) {
+  const Dataset Set = makeSynthFaces(20, 16, 1);
+  EXPECT_EQ(Set.numImages(), 20);
+  EXPECT_EQ(Set.Channels, 3);
+  EXPECT_EQ(Set.Size, 16);
+  EXPECT_EQ(Set.numAttributes(), static_cast<int64_t>(NumFaceAttrs));
+  EXPECT_EQ(Set.AttributeNames.size(), static_cast<size_t>(NumFaceAttrs));
+  for (int64_t I = 0; I < Set.Images.numel(); ++I) {
+    EXPECT_GE(Set.Images[I], 0.0);
+    EXPECT_LE(Set.Images[I], 1.0);
+  }
+  for (int64_t I = 0; I < Set.Attributes.numel(); ++I)
+    EXPECT_TRUE(Set.Attributes[I] == 0.0 || Set.Attributes[I] == 1.0);
+}
+
+TEST(SynthFaces, DeterministicPerSeed) {
+  const Dataset A = makeSynthFaces(5, 16, 7);
+  const Dataset B = makeSynthFaces(5, 16, 7);
+  for (int64_t I = 0; I < A.Images.numel(); ++I)
+    EXPECT_DOUBLE_EQ(A.Images[I], B.Images[I]);
+}
+
+TEST(SynthFaces, HairAttributesMutuallyExclusive) {
+  const Dataset Set = makeSynthFaces(300, 16, 3);
+  for (int64_t I = 0; I < Set.numImages(); ++I) {
+    const bool Bald = Set.Attributes.at(I, FaceBald) > 0.5;
+    const bool Blond = Set.Attributes.at(I, FaceBlondHair) > 0.5;
+    const bool Brown = Set.Attributes.at(I, FaceBrownHair) > 0.5;
+    EXPECT_FALSE(Blond && Brown);
+    if (Bald) {
+      EXPECT_FALSE(Blond);
+      EXPECT_FALSE(Brown);
+    }
+  }
+}
+
+TEST(SynthFaces, AttributesAreVisuallyDetectable) {
+  // Mean pixel difference between moustache and non-moustache images must
+  // be clearly nonzero in the moustache row region.
+  const Dataset Set = makeSynthFaces(400, 16, 5);
+  double WithSum = 0.0, WithoutSum = 0.0;
+  int64_t NumWith = 0, NumWithout = 0;
+  for (int64_t I = 0; I < Set.numImages(); ++I) {
+    // Average intensity of the whole image differs by hat/hair; use the
+    // full difference as a weak but robust signal.
+    double Mean = 0.0;
+    const int64_t Numel = 3 * 16 * 16;
+    for (int64_t J = 0; J < Numel; ++J)
+      Mean += Set.Images[I * Numel + J];
+    Mean /= static_cast<double>(Numel);
+    if (Set.Attributes.at(I, FaceWearingHat) > 0.5) {
+      WithSum += Mean;
+      ++NumWith;
+    } else {
+      WithoutSum += Mean;
+      ++NumWithout;
+    }
+  }
+  ASSERT_GT(NumWith, 0);
+  ASSERT_GT(NumWithout, 0);
+  EXPECT_GT(std::fabs(WithSum / NumWith - WithoutSum / NumWithout), 1e-3);
+}
+
+TEST(Dataset, FlipReversesColumns) {
+  const Dataset Set = makeSynthFaces(3, 16, 9);
+  const Tensor Img = Set.image(1);
+  const Tensor Flip = Set.flippedImage(1);
+  for (int64_t C = 0; C < 3; ++C)
+    for (int64_t Y = 0; Y < 16; ++Y)
+      for (int64_t X = 0; X < 16; ++X)
+        EXPECT_DOUBLE_EQ(Flip.at(0, C, Y, X), Img.at(0, C, Y, 15 - X));
+}
+
+TEST(SynthShoes, LabelsInRangeAndAllClassesPresent) {
+  const Dataset Set = makeSynthShoes(500, 16, 2);
+  EXPECT_EQ(Set.numClasses(), static_cast<int64_t>(NumShoeClasses));
+  std::vector<int> Seen(NumShoeClasses, 0);
+  for (int64_t Label : Set.Labels) {
+    ASSERT_GE(Label, 0);
+    ASSERT_LT(Label, static_cast<int64_t>(NumShoeClasses));
+    Seen[static_cast<size_t>(Label)] = 1;
+  }
+  for (int C = 0; C < NumShoeClasses; ++C)
+    EXPECT_TRUE(Seen[static_cast<size_t>(C)]) << "class " << C << " missing";
+}
+
+TEST(SynthShoes, ClassesAreVisuallyDistinct) {
+  // Mean images of distinct classes differ substantially.
+  const Dataset Set = makeSynthShoes(600, 16, 4);
+  const int64_t Numel = 3 * 16 * 16;
+  std::vector<std::vector<double>> Means(
+      NumShoeClasses, std::vector<double>(static_cast<size_t>(Numel), 0.0));
+  std::vector<int64_t> Counts(NumShoeClasses, 0);
+  for (int64_t I = 0; I < Set.numImages(); ++I) {
+    const auto C = static_cast<size_t>(Set.Labels[static_cast<size_t>(I)]);
+    for (int64_t J = 0; J < Numel; ++J)
+      Means[C][static_cast<size_t>(J)] += Set.Images[I * Numel + J];
+    ++Counts[C];
+  }
+  for (size_t C = 0; C < NumShoeClasses; ++C)
+    for (auto &V : Means[C])
+      V /= static_cast<double>(std::max<int64_t>(Counts[C], 1));
+  double Dist = 0.0;
+  for (int64_t J = 0; J < Numel; ++J) {
+    const double D = Means[ShoeBoot][static_cast<size_t>(J)] -
+                     Means[ShoeFlipFlop][static_cast<size_t>(J)];
+    Dist += D * D;
+  }
+  EXPECT_GT(std::sqrt(Dist), 1.0);
+}
+
+TEST(SynthDigits, ShapesAndDeterminism) {
+  const Dataset A = makeSynthDigits(50, 16, 3);
+  EXPECT_EQ(A.Channels, 1);
+  EXPECT_EQ(A.numClasses(), 10);
+  const Dataset B = makeSynthDigits(50, 16, 3);
+  for (int64_t I = 0; I < A.Images.numel(); ++I)
+    EXPECT_DOUBLE_EQ(A.Images[I], B.Images[I]);
+}
+
+TEST(SynthDigits, GlyphsHaveInk) {
+  Rng R(5);
+  for (int64_t Digit = 0; Digit < 10; ++Digit) {
+    const Tensor Img = renderDigit(Digit, 16, R);
+    double Ink = 0.0;
+    for (int64_t I = 0; I < Img.numel(); ++I)
+      Ink += Img[I];
+    EXPECT_GT(Ink, 5.0) << "digit " << Digit;
+  }
+}
+
+TEST(SynthDigits, DigitsDiffer) {
+  Rng R(6);
+  const Tensor One = renderDigit(1, 16, R);
+  Rng R2(6);
+  const Tensor Eight = renderDigit(8, 16, R2);
+  double Dist = 0.0;
+  for (int64_t I = 0; I < One.numel(); ++I) {
+    const double D = One[I] - Eight[I];
+    Dist += D * D;
+  }
+  EXPECT_GT(std::sqrt(Dist), 1.0);
+}
+
+} // namespace
+} // namespace genprove

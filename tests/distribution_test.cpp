@@ -1,0 +1,76 @@
+//===- tests/distribution_test.cpp - parameter distributions ----*- C++ -*-===//
+
+#include "src/core/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace genprove {
+namespace {
+
+class CdfProperty
+    : public ::testing::TestWithParam<ParamDistribution> {};
+
+TEST_P(CdfProperty, MonotoneWithCorrectEndpoints) {
+  const ParamDistribution Dist = GetParam();
+  EXPECT_DOUBLE_EQ(paramCdf(Dist, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(paramCdf(Dist, 1.0), 1.0);
+  double Prev = 0.0;
+  for (int I = 1; I <= 100; ++I) {
+    const double T = static_cast<double>(I) / 100.0;
+    const double F = paramCdf(Dist, T);
+    EXPECT_GE(F, Prev);
+    EXPECT_GE(F, 0.0);
+    EXPECT_LE(F, 1.0);
+    Prev = F;
+  }
+}
+
+TEST_P(CdfProperty, SamplesMatchCdf) {
+  const ParamDistribution Dist = GetParam();
+  Rng R(42);
+  const int N = 50000;
+  int BelowQuarter = 0, BelowHalf = 0;
+  for (int I = 0; I < N; ++I) {
+    const double T = sampleParam(Dist, R);
+    BelowQuarter += T < 0.25;
+    BelowHalf += T < 0.5;
+  }
+  EXPECT_NEAR(static_cast<double>(BelowQuarter) / N, paramCdf(Dist, 0.25),
+              0.01);
+  EXPECT_NEAR(static_cast<double>(BelowHalf) / N, paramCdf(Dist, 0.5), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, CdfProperty,
+                         ::testing::Values(ParamDistribution::Uniform,
+                                           ParamDistribution::Arcsine));
+
+TEST(Distribution, ArcsineKnownValues) {
+  EXPECT_NEAR(paramCdf(ParamDistribution::Arcsine, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(paramCdf(ParamDistribution::Arcsine, 0.25), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(paramCdf(ParamDistribution::Arcsine, 0.75), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Distribution, ClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(paramCdf(ParamDistribution::Arcsine, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(paramCdf(ParamDistribution::Arcsine, 1.5), 1.0);
+}
+
+TEST(Distribution, Names) {
+  EXPECT_EQ(std::string(paramDistributionName(ParamDistribution::Uniform)),
+            "uniform");
+  EXPECT_EQ(std::string(paramDistributionName(ParamDistribution::Arcsine)),
+            "arcsine");
+}
+
+TEST(Distribution, MakeCdfMatchesParamCdf) {
+  const auto Cdf = makeCdf(ParamDistribution::Arcsine);
+  for (int I = 0; I <= 10; ++I) {
+    const double T = I / 10.0;
+    EXPECT_DOUBLE_EQ(Cdf(T), paramCdf(ParamDistribution::Arcsine, T));
+  }
+}
+
+} // namespace
+} // namespace genprove

@@ -1,0 +1,141 @@
+//===- tests/figure2_test.cpp - the paper's worked examples -----*- C++ -*-===//
+//
+// Reproduces Figure 2 (the overview's toy inference) and the Appendix A
+// walkthrough as executable checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/genprove.h"
+#include "src/domains/propagate.h"
+#include "src/nn/activations.h"
+#include "src/nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace genprove {
+namespace {
+
+/// Appendix A: after the affine layer the segment runs from (1, 2, 4) to
+/// (-1, 1, 1); only dimension 0 crosses zero, at t = 0.5, producing two
+/// pieces of probability 0.5 each:
+///   (1, 2, 4) -> (0, 1.5, 2.5)   and   (0, 1.5, 2.5) -> (0, 1, 1).
+/// (The appendix text reaches these endpoints with M1, B1; we start from
+/// the post-affine endpoints it states, since the walkthrough's published
+/// intermediate values are the ground truth being checked.)
+TEST(AppendixA, ReluSplitsTheSegmentAtOneHalf) {
+  Sequential Net;
+  Net.add(std::make_unique<ReLU>());
+
+  Tensor A({1, 3}, {1.0, 2.0, 4.0});
+  Tensor B({1, 3}, {-1.0, 1.0, 1.0});
+  std::vector<Region> Init{makeSegmentRegion(A, B)};
+  PropagateConfig Config;
+  DeviceMemoryModel Memory;
+  PropagateStats Stats;
+  auto Final = propagateRegions(Net.view(), Shape({1, 3}), std::move(Init),
+                                Config, Memory, Stats);
+  ASSERT_EQ(Final.size(), 2u);
+  std::sort(Final.begin(), Final.end(),
+            [](const Region &X, const Region &Y) { return X.T0 < Y.T0; });
+
+  EXPECT_NEAR(Final[0].Weight, 0.5, 1e-12);
+  EXPECT_NEAR(Final[1].Weight, 0.5, 1e-12);
+
+  const Tensor P0 = evalCurve(Final[0], 0.0);
+  const Tensor P1 = evalCurve(Final[0], 0.5);
+  const Tensor P2 = evalCurve(Final[1], 1.0);
+  const double Expected0[3] = {1.0, 2.0, 4.0};
+  const double Expected1[3] = {0.0, 1.5, 2.5};
+  const double Expected2[3] = {0.0, 1.0, 1.0};
+  for (int64_t J = 0; J < 3; ++J) {
+    EXPECT_NEAR(P0[J], Expected0[J], 1e-12);
+    EXPECT_NEAR(P1[J], Expected1[J], 1e-12);
+    EXPECT_NEAR(P2[J], Expected2[J], 1e-12);
+  }
+}
+
+/// Figure 2(b)-(d): the polygonal chain (1,2), (-1,3), (-1,3.5), (1,4.5),
+/// (3.5,2) with segment weights 0.2, 0.2, 0.2, 0.4. ReLU splits segments 1
+/// and 3 in half (6 segments, weights 0.1, 0.1, 0.2, 0.1, 0.1, 0.4);
+/// relaxing the first five yields the box with corners (0,2) and (1,4.5)
+/// carrying weight 0.6.
+TEST(Figure2, ChainSplitRelaxAndWeights) {
+  const double Pts[5][2] = {
+      {1.0, 2.0}, {-1.0, 3.0}, {-1.0, 3.5}, {1.0, 4.5}, {3.5, 2.0}};
+  const double Lambda[4] = {0.2, 0.2, 0.2, 0.4};
+
+  // Build the chain as four segment regions over [0, 1] with the paper's
+  // weights (parameter intervals proportional to weight so the uniform
+  // CDF reproduces them).
+  std::vector<Region> Chain;
+  double T = 0.0;
+  for (int I = 0; I < 4; ++I) {
+    Tensor A({1, 2}, {Pts[I][0], Pts[I][1]});
+    Tensor B({1, 2}, {Pts[I + 1][0], Pts[I + 1][1]});
+    Chain.push_back(makeSegmentRegion(A, B, Lambda[I], T, T + Lambda[I]));
+    T += Lambda[I];
+  }
+
+  // ReLU# step.
+  Sequential Net;
+  Net.add(std::make_unique<ReLU>());
+  PropagateConfig Config;
+  DeviceMemoryModel Memory;
+  PropagateStats Stats;
+  auto Split = propagateRegions(Net.view(), Shape({1, 2}), std::move(Chain),
+                                Config, Memory, Stats);
+  ASSERT_EQ(Split.size(), 6u);
+  std::sort(Split.begin(), Split.end(),
+            [](const Region &X, const Region &Y) { return X.T0 < Y.T0; });
+  const double ExpectedWeights[6] = {0.1, 0.1, 0.2, 0.1, 0.1, 0.4};
+  for (int I = 0; I < 6; ++I)
+    EXPECT_NEAR(Split[I].Weight, ExpectedWeights[I], 1e-9) << "piece " << I;
+
+  // Relax step: subsume the first five pieces into one box.
+  Region Box = boundingBox(Split[0]);
+  for (int I = 1; I < 5; ++I)
+    Box = mergeBoxes(Box, boundingBox(Split[I]));
+  EXPECT_NEAR(Box.Weight, 0.6, 1e-9);
+  EXPECT_NEAR(Box.Center[0] - Box.Radius[0], 0.0, 1e-9); // min corner x
+  EXPECT_NEAR(Box.Center[1] - Box.Radius[1], 2.0, 1e-9); // min corner y
+  EXPECT_NEAR(Box.Center[0] + Box.Radius[0], 1.0, 1e-9); // max corner x
+  EXPECT_NEAR(Box.Center[1] + Box.Radius[1], 4.5, 1e-9); // max corner y
+
+  // Bound computation in the style of Section 2: with a final linear map
+  // that places the box inside {x1 > x2} but leaves the last segment
+  // crossing the boundary, the probabilistic lower bound is the box mass.
+  // The last segment runs from (1, 4.5)-ReLU'd to (3.5, 2); the paper
+  // notes it contains the violating point (2.75, 3).
+  std::vector<Region> FinalState{Box, Split[5]};
+  // Spec x1 > x2 after swapping axes so the box (x in [0,1], y in [2,4.5])
+  // satisfies it: use the functional y - x > 0 (the box satisfies it;
+  // the last segment crosses it at (2.75, 3) -> indicator 0).
+  Tensor Normal({1, 2}, {-1.0, 1.0});
+  const OutputSpec Spec = OutputSpec::halfspace(Normal, 0.0);
+  const ProbBounds Bounds = computeProbBounds(FinalState, Spec);
+  // Lower bound: box contributes 0.6; the segment only contributes its
+  // satisfying fraction to the exact mass e.
+  EXPECT_GE(Bounds.Lower, 0.6 - 1e-9);
+  EXPECT_LT(Bounds.Upper, 1.0 + 1e-9);
+
+  // The all-boxes lower bound of the paper's walkthrough: treating the
+  // segment's indicator as binary (it contains a violating point), the
+  // lower bound would be exactly 0.6.
+  double BinaryLower = 0.0;
+  for (const auto &Piece : FinalState) {
+    if (Piece.Kind == RegionKind::Box) {
+      if (Spec.boxContained(Piece.Center, Piece.Radius))
+        BinaryLower += Piece.Weight;
+    } else {
+      const Region SegBox = boundingBox(Piece);
+      if (Spec.boxContained(SegBox.Center, SegBox.Radius))
+        BinaryLower += Piece.Weight;
+    }
+  }
+  EXPECT_NEAR(BinaryLower, 0.6, 1e-9);
+}
+
+} // namespace
+} // namespace genprove

@@ -1,0 +1,153 @@
+//===- tests/generative_train_test.cpp - GAN/FactorVAE/ACAI -----*- C++ -*-===//
+
+#include "src/data/synth_faces.h"
+#include "src/nn/architectures.h"
+#include "src/nn/init.h"
+#include "src/train/acai.h"
+#include "src/train/factor_vae.h"
+#include "src/train/gan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genprove {
+namespace {
+
+bool allFinite(const Tensor &T) {
+  for (int64_t I = 0; I < T.numel(); ++I)
+    if (!std::isfinite(T[I]))
+      return false;
+  return true;
+}
+
+TEST(Gan, TrainingRunsAndKeepsWeightsFinite) {
+  const Dataset Set = makeSynthFaces(80, 16, 1);
+  Rng R(1);
+  Sequential Gen = makeDecoder(8, 3, 16);
+  Sequential Disc = makeEncoderSmall(3, 16, 1);
+  kaimingInit(Gen, R);
+  kaimingInit(Disc, R);
+  Gan Model(std::move(Gen), std::move(Disc), 8);
+  Gan::Config Config;
+  Config.Epochs = 1;
+  Config.BatchSize = 16;
+  Model.train(Set, Config, R);
+
+  Tensor Noise = Tensor::randn({2, 8}, R);
+  const Tensor Fake = Model.generator().predict(Noise);
+  EXPECT_TRUE(allFinite(Fake));
+  const Tensor Score = Model.discriminator().predict(Fake);
+  EXPECT_EQ(Score.shape(), Shape({2, 1}));
+  EXPECT_TRUE(allFinite(Score));
+}
+
+TEST(Gan, DiscriminatorMovesRealScoresTowardOne) {
+  // LSGAN trains D(real) -> 1; after a few epochs the mean real score
+  // must sit closer to 1 than an untrained discriminator's.
+  const Dataset Set = makeSynthFaces(120, 16, 2);
+  Rng R(2);
+  Sequential Gen = makeDecoder(8, 3, 16);
+  Sequential Disc = makeEncoderSmall(3, 16, 1);
+  kaimingInit(Gen, R);
+  kaimingInit(Disc, R);
+  Gan Model(std::move(Gen), std::move(Disc), 8);
+
+  auto MeanRealScore = [&]() {
+    double Score = 0.0;
+    for (int64_t I = 0; I < 16; ++I)
+      Score += Model.discriminator().predict(Set.image(I))[0];
+    return Score / 16.0;
+  };
+  const double Before = MeanRealScore();
+
+  Gan::Config Config;
+  Config.Epochs = 3;
+  Config.BatchSize = 16;
+  Model.train(Set, Config, R);
+  const double After = MeanRealScore();
+  EXPECT_LT(std::fabs(After - 1.0), std::fabs(Before - 1.0) + 0.1);
+  EXPECT_GT(After, 0.3);
+}
+
+TEST(FactorVae, TrainingRunsAndEncodes) {
+  const Dataset Set = makeSynthFaces(80, 16, 3);
+  Rng R(3);
+  Sequential Enc = makeEncoderSmall(3, 16, 2 * 6);
+  Sequential Dec = makeDecoder(6, 3, 16);
+  Sequential Critic = makeMlp({6, 32, 32, 2});
+  kaimingInit(Enc, R);
+  kaimingInit(Dec, R);
+  kaimingInit(Critic, R);
+  FactorVae Model(std::move(Enc), std::move(Dec), std::move(Critic), 6);
+  FactorVae::Config Config;
+  Config.Epochs = 1;
+  Config.BatchSize = 16;
+  Model.train(Set, Config, R);
+
+  const Tensor Z = Model.encode(Set.image(0));
+  EXPECT_EQ(Z.shape(), Shape({1, 6}));
+  EXPECT_TRUE(allFinite(Z));
+  const Tensor X = Model.decode(Z);
+  EXPECT_EQ(X.shape(), Shape({1, 3, 16, 16}));
+  EXPECT_TRUE(allFinite(X));
+}
+
+TEST(Acai, TrainingReducesReconstructionError) {
+  const Dataset Set = makeSynthFaces(100, 16, 4);
+  Rng R(4);
+  Sequential Enc = makeEncoderSmall(3, 16, 6);
+  Sequential Dec = makeDecoder(6, 3, 16);
+  Sequential Critic = makeEncoderSmall(3, 16, 1);
+  kaimingInit(Enc, R);
+  kaimingInit(Dec, R);
+  kaimingInit(Critic, R);
+  Acai Model(std::move(Enc), std::move(Dec), std::move(Critic), 6);
+
+  auto ReconError = [&]() {
+    double Err = 0.0;
+    for (int64_t I = 0; I < 10; ++I) {
+      const Tensor X = Set.image(I);
+      const Tensor Y = Model.decode(Model.encode(X));
+      for (int64_t J = 0; J < X.numel(); ++J)
+        Err += (X[J] - Y[J]) * (X[J] - Y[J]);
+    }
+    return Err;
+  };
+
+  const double Before = ReconError();
+  Acai::Config Config;
+  Config.Epochs = 2;
+  Config.BatchSize = 16;
+  Model.train(Set, Config, R);
+  const double After = ReconError();
+  EXPECT_LT(After, Before);
+}
+
+TEST(Acai, InterpolationsDecodeFinite) {
+  const Dataset Set = makeSynthFaces(60, 16, 5);
+  Rng R(5);
+  Sequential Enc = makeEncoderSmall(3, 16, 4);
+  Sequential Dec = makeDecoderSmall(4, 3, 16);
+  Sequential Critic = makeEncoderSmall(3, 16, 1);
+  kaimingInit(Enc, R);
+  kaimingInit(Dec, R);
+  kaimingInit(Critic, R);
+  Acai Model(std::move(Enc), std::move(Dec), std::move(Critic), 4);
+  Acai::Config Config;
+  Config.Epochs = 1;
+  Config.BatchSize = 16;
+  Model.train(Set, Config, R);
+
+  const Tensor Z1 = Model.encode(Set.image(0));
+  const Tensor Z2 = Model.encode(Set.image(1));
+  for (double Alpha : {0.25, 0.5, 0.75}) {
+    Tensor Z({1, 4});
+    for (int64_t J = 0; J < 4; ++J)
+      Z[J] = (1 - Alpha) * Z1[J] + Alpha * Z2[J];
+    EXPECT_TRUE(allFinite(Model.decode(Z)));
+  }
+}
+
+} // namespace
+} // namespace genprove

@@ -1,0 +1,168 @@
+//===- tests/pipeline_test.cpp - decoder->classifier integration -*- C++ -*-===//
+//
+// End-to-end integration on miniature versions of the paper's pipeline:
+// a (lightly trained) VAE decoder followed by a classifier, verified with
+// GenProve and cross-checked against dense sampling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/genprove.h"
+#include "src/data/synth_shoes.h"
+#include "src/nn/architectures.h"
+#include "src/nn/init.h"
+#include "src/train/trainer.h"
+#include "src/train/vae.h"
+
+#include <gtest/gtest.h>
+
+namespace genprove {
+namespace {
+
+/// Shared miniature pipeline (small images to keep the test fast).
+struct MiniPipeline {
+  Dataset Set;
+  Vae Model;
+  Sequential Classifier;
+
+  static MiniPipeline make(uint64_t Seed) {
+    Rng R(Seed);
+    Dataset Set = makeSynthShoes(120, 8, Seed);
+    Sequential Enc = makeEncoderSmall(3, 8, 2 * 4);
+    Sequential Dec = makeDecoderSmall(4, 3, 8);
+    kaimingInit(Enc, R);
+    kaimingInit(Dec, R);
+    Vae Model(std::move(Enc), std::move(Dec), 4);
+    Vae::Config VC;
+    VC.Epochs = 2;
+    Model.train(Set, VC, R);
+
+    Sequential Cls = makeConvSmall(3, 8, Set.numClasses());
+    kaimingInit(Cls, R);
+    TrainConfig TC;
+    TC.Epochs = 2;
+    TC.BatchSize = 32;
+    trainClassifier(Cls, Set, TC, R);
+    return MiniPipeline{std::move(Set), std::move(Model), std::move(Cls)};
+  }
+};
+
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineProperty, ExactBoundsMatchDenseSampling) {
+  MiniPipeline P = MiniPipeline::make(GetParam());
+  const auto Pipeline =
+      concatViews(P.Model.decoder().view(), P.Classifier.view());
+  const Shape LatentShape({1, 4});
+
+  Rng R(GetParam() + 1);
+  const Tensor E1 = P.Model.encode(P.Set.image(0));
+  const Tensor E2 = P.Model.encode(P.Set.image(1));
+  const OutputSpec Spec =
+      OutputSpec::argmaxWins(P.Set.Labels[0], P.Set.numClasses());
+
+  GenProveConfig Config; // exact
+  const AnalysisResult Result = GenProve(Config).analyzeSegment(
+      Pipeline, LatentShape, E1, E2, Spec);
+  ASSERT_FALSE(Result.OutOfMemory);
+  EXPECT_NEAR(Result.Bounds.width(), 0.0, 1e-9);
+
+  int64_t Sat = 0;
+  const int64_t N = 2000;
+  for (int64_t I = 0; I < N; ++I) {
+    const double T = (static_cast<double>(I) + 0.5) / N;
+    Tensor Z({1, 4});
+    for (int64_t J = 0; J < 4; ++J)
+      Z[J] = E1[J] + T * (E2[J] - E1[J]);
+    const Tensor Out = forwardConcretePoints(Pipeline, LatentShape, Z);
+    if (Spec.satisfied(Out))
+      ++Sat;
+  }
+  EXPECT_NEAR(Result.Bounds.Lower, static_cast<double>(Sat) / N, 0.02);
+}
+
+TEST_P(PipelineProperty, RelaxedBoundsBracketExact) {
+  MiniPipeline P = MiniPipeline::make(GetParam() + 100);
+  const auto Pipeline =
+      concatViews(P.Model.decoder().view(), P.Classifier.view());
+  const Shape LatentShape({1, 4});
+  const Tensor E1 = P.Model.encode(P.Set.image(2));
+  const Tensor E2 = P.Model.encode(P.Set.image(3));
+  const OutputSpec Spec =
+      OutputSpec::argmaxWins(P.Set.Labels[2], P.Set.numClasses());
+
+  GenProveConfig Exact;
+  const ProbBounds ExactBounds =
+      GenProve(Exact)
+          .analyzeSegment(Pipeline, LatentShape, E1, E2, Spec)
+          .Bounds;
+
+  GenProveConfig Relaxed;
+  Relaxed.RelaxPercent = 0.3;
+  Relaxed.ClusterK = 20.0;
+  Relaxed.NodeThreshold = 16;
+  const ProbBounds RelaxedBounds =
+      GenProve(Relaxed)
+          .analyzeSegment(Pipeline, LatentShape, E1, E2, Spec)
+          .Bounds;
+
+  EXPECT_LE(RelaxedBounds.Lower, ExactBounds.Lower + 1e-9);
+  EXPECT_GE(RelaxedBounds.Upper, ExactBounds.Upper - 1e-9);
+}
+
+TEST_P(PipelineProperty, PropagationIsDeterministic) {
+  MiniPipeline P = MiniPipeline::make(GetParam() + 200);
+  const auto Pipeline =
+      concatViews(P.Model.decoder().view(), P.Classifier.view());
+  const Shape LatentShape({1, 4});
+  const Tensor E1 = P.Model.encode(P.Set.image(4));
+  const Tensor E2 = P.Model.encode(P.Set.image(5));
+  const OutputSpec Spec =
+      OutputSpec::argmaxWins(P.Set.Labels[4], P.Set.numClasses());
+
+  GenProveConfig Config;
+  Config.RelaxPercent = 0.1;
+  Config.NodeThreshold = 32;
+  const ProbBounds A = GenProve(Config)
+                           .analyzeSegment(Pipeline, LatentShape, E1, E2,
+                                           Spec)
+                           .Bounds;
+  const ProbBounds B = GenProve(Config)
+                           .analyzeSegment(Pipeline, LatentShape, E1, E2,
+                                           Spec)
+                           .Bounds;
+  EXPECT_DOUBLE_EQ(A.Lower, B.Lower);
+  EXPECT_DOUBLE_EQ(A.Upper, B.Upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(11u, 29u));
+
+TEST(Pipeline, FlipInterpolationSpecRuns) {
+  // The head-orientation construction end-to-end at miniature scale.
+  Rng R(7);
+  Dataset Set = makeSynthShoes(60, 8, 7);
+  Sequential Enc = makeEncoderSmall(3, 8, 2 * 4);
+  Sequential Dec = makeDecoderSmall(4, 3, 8);
+  kaimingInit(Enc, R);
+  kaimingInit(Dec, R);
+  Vae Model(std::move(Enc), std::move(Dec), 4);
+  Vae::Config VC;
+  VC.Epochs = 1;
+  Model.train(Set, VC, R);
+
+  const Tensor E1 = Model.encode(Set.image(0));
+  const Tensor E2 = Model.encode(Set.flippedImage(0));
+  Sequential Cls = makeConvSmall(3, 8, Set.numClasses());
+  kaimingInit(Cls, R);
+  const auto Pipeline = concatViews(Model.decoder().view(), Cls.view());
+
+  GenProveConfig Config;
+  const AnalysisResult Result = GenProve(Config).analyzeSegment(
+      Pipeline, Shape({1, 4}), E1, E2,
+      OutputSpec::argmaxWins(0, Set.numClasses()));
+  EXPECT_FALSE(Result.OutOfMemory);
+  EXPECT_LE(Result.Bounds.Lower, Result.Bounds.Upper);
+}
+
+} // namespace
+} // namespace genprove

@@ -1,0 +1,157 @@
+//===- tests/region_test.cpp - Region representation tests ------*- C++ -*-===//
+
+#include "src/domains/region.h"
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genprove {
+namespace {
+
+TEST(Region, SegmentEvaluatesAtEndpoints) {
+  Tensor A({1, 3}, {1.0, 2.0, 3.0});
+  Tensor B({1, 3}, {-1.0, 0.0, 5.0});
+  const Region Seg = makeSegmentRegion(A, B);
+  const Tensor P0 = evalCurve(Seg, 0.0);
+  const Tensor P1 = evalCurve(Seg, 1.0);
+  for (int64_t J = 0; J < 3; ++J) {
+    EXPECT_NEAR(P0[J], A[J], 1e-12);
+    EXPECT_NEAR(P1[J], B[J], 1e-12);
+  }
+  const Tensor Mid = evalCurve(Seg, 0.5);
+  EXPECT_NEAR(Mid[0], 0.0, 1e-12);
+  EXPECT_NEAR(Mid[2], 4.0, 1e-12);
+}
+
+TEST(Region, SegmentSubIntervalParameterization) {
+  Tensor A({1, 2}, {0.0, 0.0});
+  Tensor B({1, 2}, {4.0, 8.0});
+  // Segment covering global parameters [0.25, 0.75]: gamma(0.25) = A.
+  const Region Seg = makeSegmentRegion(A, B, 0.5, 0.25, 0.75);
+  const Tensor P = evalCurve(Seg, 0.25);
+  EXPECT_NEAR(P[0], 0.0, 1e-12);
+  const Tensor Q = evalCurve(Seg, 0.75);
+  EXPECT_NEAR(Q[1], 8.0, 1e-12);
+  EXPECT_EQ(Seg.nodes(), 2);
+  EXPECT_EQ(Seg.degree(), 1);
+}
+
+TEST(Region, QuadraticPassesThroughControlValues) {
+  Tensor A0({1, 2}, {1.0, 0.0});
+  Tensor A1({1, 2}, {0.0, 2.0});
+  Tensor A2({1, 2}, {-1.0, 1.0});
+  const Region Q = makeQuadraticRegion(A0, A1, A2);
+  // gamma(t) = (1 - t^2, 2t + t^2).
+  const Tensor P = evalCurve(Q, 0.5);
+  EXPECT_NEAR(P[0], 0.75, 1e-12);
+  EXPECT_NEAR(P[1], 1.25, 1e-12);
+  EXPECT_EQ(Q.degree(), 2);
+  EXPECT_EQ(Q.nodes(), 3);
+}
+
+TEST(Region, ComponentRangeIncludesQuadraticVertex) {
+  // gamma(t)_0 = (t - 0.5)^2 = 0.25 - t + t^2; min 0 at t = 0.5.
+  Tensor A0({1, 1}, {0.25});
+  Tensor A1({1, 1}, {-1.0});
+  Tensor A2({1, 1}, {1.0});
+  const Region Q = makeQuadraticRegion(A0, A1, A2);
+  const Interval Range = curveComponentRange(Q, 0);
+  EXPECT_NEAR(Range.Lo, 0.0, 1e-12);
+  EXPECT_NEAR(Range.Hi, 0.25, 1e-12);
+}
+
+TEST(Region, BoundingBoxCoversSampledCurvePoints) {
+  Rng R(3);
+  Tensor A0 = Tensor::randn({1, 5}, R);
+  Tensor A1 = Tensor::randn({1, 5}, R);
+  Tensor A2 = Tensor::randn({1, 5}, R);
+  const Region Q = makeQuadraticRegion(A0, A1, A2, 1.0, 0.2, 0.9);
+  const Region Box = boundingBox(Q);
+  EXPECT_EQ(Box.Kind, RegionKind::Box);
+  EXPECT_DOUBLE_EQ(Box.Weight, Q.Weight);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    const double T = R.uniform(0.2, 0.9);
+    const Tensor P = evalCurve(Q, T);
+    for (int64_t J = 0; J < 5; ++J) {
+      EXPECT_LE(P[J], Box.Center[J] + Box.Radius[J] + 1e-9);
+      EXPECT_GE(P[J], Box.Center[J] - Box.Radius[J] - 1e-9);
+    }
+  }
+}
+
+TEST(Region, MergeBoxesAddsWeightAndCoversBoth) {
+  Tensor C1({1, 2}, {0.0, 0.0});
+  Tensor R1({1, 2}, {1.0, 1.0});
+  Tensor C2({1, 2}, {3.0, 0.5});
+  Tensor R2({1, 2}, {0.5, 2.0});
+  const Region M = mergeBoxes(makeBoxRegion(C1, R1, 0.25),
+                              makeBoxRegion(C2, R2, 0.35));
+  EXPECT_NEAR(M.Weight, 0.6, 1e-12);
+  // Covers [-1, 3.5] x [-1.5, 2.5].
+  EXPECT_NEAR(M.Center[0] - M.Radius[0], -1.0, 1e-12);
+  EXPECT_NEAR(M.Center[0] + M.Radius[0], 3.5, 1e-12);
+  EXPECT_NEAR(M.Center[1] - M.Radius[1], -1.5, 1e-12);
+  EXPECT_NEAR(M.Center[1] + M.Radius[1], 2.5, 1e-12);
+}
+
+TEST(Region, ChordLength) {
+  Tensor A({1, 2}, {0.0, 0.0});
+  Tensor B({1, 2}, {3.0, 4.0});
+  EXPECT_NEAR(curveChordLength(makeSegmentRegion(A, B)), 5.0, 1e-12);
+}
+
+TEST(Region, LinearRootsInsideInterval) {
+  // Component crosses zero at t = 0.5.
+  Tensor A({1, 1}, {1.0});
+  Tensor B({1, 1}, {-1.0});
+  const Region Seg = makeSegmentRegion(A, B);
+  std::vector<double> Roots;
+  curveComponentRoots(Seg, 0, Roots);
+  ASSERT_EQ(Roots.size(), 1u);
+  EXPECT_NEAR(Roots[0], 0.5, 1e-12);
+}
+
+TEST(Region, RootsOutsideIntervalIgnored) {
+  Tensor A({1, 1}, {1.0});
+  Tensor B({1, 1}, {0.2}); // never crosses zero on [0, 1]
+  const Region Seg = makeSegmentRegion(A, B);
+  std::vector<double> Roots;
+  curveComponentRoots(Seg, 0, Roots);
+  EXPECT_TRUE(Roots.empty());
+}
+
+TEST(Region, QuadraticDoubleCrossing) {
+  // (t - 0.25)(t - 0.75) = t^2 - t + 0.1875.
+  Tensor A0({1, 1}, {0.1875});
+  Tensor A1({1, 1}, {-1.0});
+  Tensor A2({1, 1}, {1.0});
+  const Region Q = makeQuadraticRegion(A0, A1, A2);
+  std::vector<double> Roots;
+  curveComponentRoots(Q, 0, Roots);
+  std::sort(Roots.begin(), Roots.end());
+  ASSERT_EQ(Roots.size(), 2u);
+  EXPECT_NEAR(Roots[0], 0.25, 1e-9);
+  EXPECT_NEAR(Roots[1], 0.75, 1e-9);
+}
+
+TEST(Region, FunctionalRootsMatchComponentCombination) {
+  // gamma(t) = (t, 1 - 2t); g = (1, 1), c = 0 -> 1 - t = 0 has no root in
+  // (0, 1) open? t = 1 is the boundary, excluded.
+  Tensor A({1, 2}, {0.0, 1.0});
+  Tensor B({1, 2}, {1.0, -1.0});
+  const Region Seg = makeSegmentRegion(A, B);
+  Tensor G({1, 2}, {1.0, 1.0});
+  std::vector<double> Roots;
+  curveFunctionalRoots(Seg, G, 0.0, Roots);
+  EXPECT_TRUE(Roots.empty());
+  // g = (1, -1): t - (1 - 2t) = 3t - 1 -> root at 1/3.
+  Tensor G2({1, 2}, {1.0, -1.0});
+  curveFunctionalRoots(Seg, G2, 0.0, Roots);
+  ASSERT_EQ(Roots.size(), 1u);
+  EXPECT_NEAR(Roots[0], 1.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace genprove

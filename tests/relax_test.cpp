@@ -1,0 +1,160 @@
+//===- tests/relax_test.cpp - relaxation heuristic tests --------*- C++ -*-===//
+
+#include "src/domains/relaxation.h"
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genprove {
+namespace {
+
+/// A chain of NumPieces connected random segments over [0, 1], with
+/// weights proportional to parameter length.
+std::vector<Region> makeChain(Rng &R, int64_t NumPieces, int64_t Dim) {
+  std::vector<Region> Chain;
+  Tensor Prev = Tensor::randn({1, Dim}, R);
+  for (int64_t I = 0; I < NumPieces; ++I) {
+    Tensor Next = Prev.clone();
+    for (int64_t J = 0; J < Dim; ++J)
+      Next[J] += R.normal(0.0, I % 7 == 0 ? 1.0 : 0.05); // mixed lengths
+    const double T0 = static_cast<double>(I) / NumPieces;
+    const double T1 = static_cast<double>(I + 1) / NumPieces;
+    Chain.push_back(makeSegmentRegion(Prev, Next, T1 - T0, T0, T1));
+    Prev = Next;
+  }
+  return Chain;
+}
+
+TEST(Relax, ShortChainsAreLeftExact) {
+  Rng R(1);
+  auto Chain = makeChain(R, 20, 4);
+  RelaxConfig Config;
+  Config.RelaxPercent = 0.5;
+  Config.ClusterK = 5.0;
+  Config.NodeThreshold = 100; // chain has only 21 nodes
+  const size_t Before = Chain.size();
+  relaxRegions(Chain, Config);
+  EXPECT_EQ(Chain.size(), Before);
+  for (const auto &Piece : Chain)
+    EXPECT_EQ(Piece.Kind, RegionKind::Curve);
+}
+
+TEST(Relax, ZeroPercentIsExact) {
+  Rng R(2);
+  auto Chain = makeChain(R, 200, 4);
+  RelaxConfig Config;
+  Config.RelaxPercent = 0.0;
+  Config.NodeThreshold = 10;
+  const size_t Before = Chain.size();
+  relaxRegions(Chain, Config);
+  EXPECT_EQ(Chain.size(), Before);
+}
+
+TEST(Relax, BoxesShortSegmentsAndPreservesMass) {
+  Rng R(3);
+  auto Chain = makeChain(R, 300, 4);
+  double MassBefore = 0.0;
+  for (const auto &Piece : Chain)
+    MassBefore += Piece.Weight;
+
+  RelaxConfig Config;
+  Config.RelaxPercent = 0.9;
+  Config.ClusterK = 10.0;
+  Config.NodeThreshold = 50;
+  relaxRegions(Chain, Config);
+
+  double MassAfter = 0.0;
+  int64_t NumBoxes = 0;
+  for (const auto &Piece : Chain) {
+    MassAfter += Piece.Weight;
+    NumBoxes += Piece.Kind == RegionKind::Box;
+  }
+  EXPECT_NEAR(MassAfter, MassBefore, 1e-9);
+  EXPECT_GT(NumBoxes, 0);
+  EXPECT_LT(Chain.size(), 300u); // the state actually shrank
+}
+
+TEST(Relax, ClusterBudgetCapsBoxSpan) {
+  Rng R(4);
+  // Uniform tiny segments: everything below the percentile cap.
+  std::vector<Region> Chain;
+  Tensor Prev = Tensor::zeros({1, 2});
+  const int64_t N = 400;
+  for (int64_t I = 0; I < N; ++I) {
+    Tensor Next = Prev.clone();
+    Next[0] += 0.01;
+    const double T0 = static_cast<double>(I) / N;
+    const double T1 = static_cast<double>(I + 1) / N;
+    Chain.push_back(makeSegmentRegion(Prev, Next, T1 - T0, T0, T1));
+    Prev = Next;
+  }
+  RelaxConfig Config;
+  Config.RelaxPercent = 1.0; // every length is <= the 100th percentile
+  Config.ClusterK = 20.0;    // per-step budget = 401/20 = 20 endpoints
+  Config.NodeThreshold = 50;
+  relaxRegions(Chain, Config);
+
+  // Each box may cover at most ~20 pieces of weight 1/400 each.
+  for (const auto &Piece : Chain) {
+    if (Piece.Kind == RegionKind::Box) {
+      EXPECT_LE(Piece.Weight, 21.0 / 400.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Relax, SoundnessBoxesCoverReplacedSegments) {
+  Rng R(5);
+  auto Chain = makeChain(R, 300, 3);
+  // Remember the originals to check coverage after relaxation.
+  const std::vector<Region> Original = Chain;
+
+  RelaxConfig Config;
+  Config.RelaxPercent = 1.0;
+  Config.ClusterK = 8.0;
+  Config.NodeThreshold = 10;
+  relaxRegions(Chain, Config);
+
+  // Every original sample point must be covered by the relaxed state.
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    const auto &Seg = Original[R.below(Original.size())];
+    const double T = R.uniform(Seg.T0, Seg.T1);
+    const Tensor P = evalCurve(Seg, T);
+    bool Covered = false;
+    for (const auto &Piece : Chain) {
+      if (Piece.Kind == RegionKind::Curve) {
+        if (T < Piece.T0 - 1e-12 || T > Piece.T1 + 1e-12)
+          continue;
+        const Tensor Q = evalCurve(Piece, T);
+        bool Match = true;
+        for (int64_t J = 0; J < Q.numel() && Match; ++J)
+          if (std::fabs(Q[J] - P[J]) > 1e-9)
+            Match = false;
+        Covered |= Match;
+      } else {
+        bool Inside = true;
+        for (int64_t J = 0; J < P.numel() && Inside; ++J)
+          if (std::fabs(P[J] - Piece.Center[J]) > Piece.Radius[J] + 1e-9)
+            Inside = false;
+        Covered |= Inside;
+      }
+      if (Covered)
+        break;
+    }
+    EXPECT_TRUE(Covered);
+  }
+}
+
+TEST(Relax, TotalNodesCountsCurveAndBoxNodes) {
+  Tensor A({1, 2}, {0.0, 0.0});
+  Tensor B({1, 2}, {1.0, 1.0});
+  std::vector<Region> Regions;
+  Regions.push_back(makeSegmentRegion(A, B)); // 2 nodes
+  Regions.push_back(makeBoxRegion(A, B, 0.5)); // 2 nodes
+  Regions.push_back(makeQuadraticRegion(A, B, A)); // 3 nodes
+  EXPECT_EQ(totalNodes(Regions), 7);
+}
+
+} // namespace
+} // namespace genprove

@@ -1,0 +1,211 @@
+//===- tools/genprove_cli.cpp - command-line verifier -----------*- C++ -*-===//
+//
+// Verify a serialized network pipeline from the command line.
+//
+// Usage:
+//   genprove_cli --net decoder.bin [--net classifier.bin ...]
+//                --input-shape 1x8
+//                --start start.txt --end end.txt
+//                --spec argmax:0:10 | sign:3:+:40 | halfspace:0.5:-1
+//                [--p 0.02] [--k 100] [--threshold 250]
+//                [--budget-mb 240] [--deterministic] [--arcsine]
+//                [--splits N] [--schedule A|B]
+//
+// Latent vector files contain whitespace-separated doubles. Networks are
+// the binary format written by saveNetwork() (see src/nn/serialize.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/genprove.h"
+#include "src/nn/serialize.h"
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace genprove;
+
+namespace {
+
+[[noreturn]] void usage(const char *Message) {
+  std::fprintf(stderr, "genprove_cli: %s\n", Message);
+  std::fprintf(
+      stderr,
+      "usage: genprove_cli --net NET.bin [--net NET2.bin ...]\n"
+      "                    --input-shape 1x8 --start A.txt --end B.txt\n"
+      "                    --spec argmax:T:N | sign:I:+|-:N | "
+      "halfspace:C:g0,g1,...\n"
+      "                    [--p P] [--k K] [--threshold T] [--budget-mb M]\n"
+      "                    [--deterministic] [--arcsine] [--splits N]\n"
+      "                    [--schedule A|B]\n");
+  std::exit(2);
+}
+
+Tensor readVector(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    usage(("cannot open vector file: " + Path).c_str());
+  std::vector<double> Values;
+  double V = 0.0;
+  while (In >> V)
+    Values.push_back(V);
+  if (Values.empty())
+    usage(("empty vector file: " + Path).c_str());
+  const int64_t N = static_cast<int64_t>(Values.size());
+  return Tensor({1, N}, std::move(Values));
+}
+
+Shape parseShape(const std::string &Text) {
+  std::vector<int64_t> Dims;
+  std::istringstream In(Text);
+  std::string Part;
+  while (std::getline(In, Part, 'x'))
+    Dims.push_back(std::stoll(Part));
+  if (Dims.empty())
+    usage("bad --input-shape");
+  return Shape(Dims);
+}
+
+OutputSpec parseSpec(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Kind;
+  std::getline(In, Kind, ':');
+  if (Kind == "argmax") {
+    std::string T, N;
+    std::getline(In, T, ':');
+    std::getline(In, N, ':');
+    return OutputSpec::argmaxWins(std::stoll(T), std::stoll(N));
+  }
+  if (Kind == "sign") {
+    std::string I, S, N;
+    std::getline(In, I, ':');
+    std::getline(In, S, ':');
+    std::getline(In, N, ':');
+    return OutputSpec::attributeSign(std::stoll(I), S == "+", std::stoll(N));
+  }
+  if (Kind == "halfspace") {
+    std::string C, Coeffs;
+    std::getline(In, C, ':');
+    std::getline(In, Coeffs);
+    std::vector<double> G;
+    std::istringstream Gs(Coeffs);
+    std::string Part;
+    while (std::getline(Gs, Part, ','))
+      G.push_back(std::stod(Part));
+    Tensor Normal({1, static_cast<int64_t>(G.size())}, std::move(G));
+    return OutputSpec::halfspace(std::move(Normal), std::stod(C));
+  }
+  usage("unknown spec kind (use argmax / sign / halfspace)");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> NetPaths;
+  std::string StartPath, EndPath, ShapeText, SpecText;
+  GenProveConfig Config;
+  Config.NodeThreshold = 250;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Next = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        usage(("missing value for " + Arg).c_str());
+      return Argv[++I];
+    };
+    if (Arg == "--net")
+      NetPaths.push_back(Next());
+    else if (Arg == "--input-shape")
+      ShapeText = Next();
+    else if (Arg == "--start")
+      StartPath = Next();
+    else if (Arg == "--end")
+      EndPath = Next();
+    else if (Arg == "--spec")
+      SpecText = Next();
+    else if (Arg == "--p")
+      Config.RelaxPercent = std::stod(Next());
+    else if (Arg == "--k")
+      Config.ClusterK = std::stod(Next());
+    else if (Arg == "--threshold")
+      Config.NodeThreshold = std::stoll(Next());
+    else if (Arg == "--budget-mb")
+      Config.MemoryBudgetBytes =
+          static_cast<size_t>(std::stoull(Next())) << 20;
+    else if (Arg == "--deterministic")
+      Config.Mode = AnalysisMode::Deterministic;
+    else if (Arg == "--arcsine")
+      Config.Distribution = ParamDistribution::Arcsine;
+    else if (Arg == "--splits")
+      Config.InputSplits = std::stoll(Next());
+    else if (Arg == "--schedule")
+      Config.Schedule =
+          Next() == "B" ? RefinementSchedule::B : RefinementSchedule::A;
+    else
+      usage(("unknown option: " + Arg).c_str());
+  }
+
+  if (NetPaths.empty() || StartPath.empty() || EndPath.empty() ||
+      ShapeText.empty() || SpecText.empty())
+    usage("--net, --input-shape, --start, --end and --spec are required");
+
+  // Load the pipeline.
+  std::vector<Sequential> Networks;
+  for (const std::string &Path : NetPaths) {
+    auto Net = loadNetwork(Path);
+    if (!Net) {
+      std::fprintf(stderr, "genprove_cli: cannot load network %s\n",
+                   Path.c_str());
+      return 1;
+    }
+    Networks.push_back(std::move(*Net));
+  }
+  std::vector<const Layer *> Pipeline;
+  for (const Sequential &Net : Networks)
+    Pipeline = concatViews(Pipeline, Net.view());
+
+  const Shape InputShape = parseShape(ShapeText);
+  const Tensor Start = readVector(StartPath);
+  const Tensor End = readVector(EndPath);
+  if (Start.numel() != End.numel() ||
+      Start.numel() != InputShape.numel()) {
+    std::fprintf(stderr,
+                 "genprove_cli: vector dims (%lld, %lld) do not match "
+                 "--input-shape %s\n",
+                 static_cast<long long>(Start.numel()),
+                 static_cast<long long>(End.numel()),
+                 InputShape.toString().c_str());
+    return 1;
+  }
+  const OutputSpec Spec = parseSpec(SpecText);
+
+  const GenProve Analyzer(Config);
+  const AnalysisResult Result =
+      Analyzer.analyzeSegment(Pipeline, InputShape, Start, End, Spec);
+
+  if (Result.OutOfMemory) {
+    std::printf("result: OUT OF MEMORY (budget %s; try --p, --schedule or "
+                "--splits)\n",
+                formatBytes(Config.MemoryBudgetBytes).c_str());
+    return 3;
+  }
+  std::printf("bounds:  [%.6f, %.6f]  width %s\n", Result.Bounds.Lower,
+              Result.Bounds.Upper, formatBound(Result.Bounds.width()).c_str());
+  if (Config.Mode == AnalysisMode::Deterministic) {
+    const char *Verdict = Result.Bounds.Lower >= 1.0   ? "HOLDS"
+                          : Result.Bounds.Upper <= 0.0 ? "NEVER HOLDS"
+                                                       : "UNKNOWN";
+    std::printf("verdict: %s\n", Verdict);
+  }
+  std::printf("stats:   %.2fs, %lld regions peak, %lld nodes peak, %s "
+              "device memory, %lld retries\n",
+              Result.Seconds, static_cast<long long>(Result.MaxRegions),
+              static_cast<long long>(Result.MaxNodes),
+              formatBytes(Result.PeakBytes).c_str(),
+              static_cast<long long>(Result.Retries));
+  return 0;
+}
