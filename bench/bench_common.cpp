@@ -5,6 +5,8 @@
 #include "src/domains/box_domain.h"
 #include "src/domains/hybrid_zonotope.h"
 #include "src/domains/zonotope.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 #include "src/util/stats.h"
 #include "src/util/timer.h"
 
@@ -47,12 +49,38 @@ double toScaledGb(size_t Bytes, size_t BudgetBytes) {
 }
 
 BenchEnv::BenchEnv(BenchConfig InitConfig) : Config(std::move(InitConfig)) {
+  // The bench harness always records engine metrics; they feed the run
+  // report. Tracing stays off unless a binary opts in.
+  setMetricsEnabled(true);
   std::error_code Ec;
   std::filesystem::create_directories(Config.ResultsDir, Ec);
   loadCache();
 }
 
-BenchEnv::~BenchEnv() { saveCache(); }
+BenchEnv::~BenchEnv() {
+  saveCache();
+  writeRunReport();
+}
+
+std::string BenchEnv::configFingerprint() const {
+  // Every knob that changes cell values must be part of the hash;
+  // ResultsDir only changes where they are stored.
+  std::ostringstream Knobs;
+  Knobs << Config.PairsPerCell << '|' << Config.ZonoPairsPerCell << '|'
+        << Config.SamplesPerPair << '|' << Config.SamplingAlpha << '|'
+        << Config.RelaxPercent << '|' << Config.ClusterK << '|'
+        << Config.NodeThreshold << '|' << Config.MemoryBudgetBytes;
+  const std::string Text = Knobs.str();
+  uint64_t Hash = 1469598103934665603ull; // FNV-1a 64
+  for (unsigned char C : Text) {
+    Hash ^= C;
+    Hash *= 1099511628211ull;
+  }
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Hash));
+  return Buf;
+}
 
 std::string BenchEnv::cacheKey(DatasetId Data, const std::string &Network,
                                Method Which) const {
@@ -77,6 +105,7 @@ const GridCell &BenchEnv::cell(DatasetId Data, const std::string &Network,
   std::fprintf(stderr, "[bench] computing cell %s ...\n", Key.c_str());
   GridCell Cell = computeCell(Data, Network, Which);
   Dirty = true;
+  FreshKeys.insert(Key);
   auto [Pos, Inserted] = Cache.emplace(Key, std::move(Cell));
   saveCache();
   (void)Inserted;
@@ -144,6 +173,7 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
 
   double SumWidth = 0.0, SumLower = 0.0, SumUpper = 0.0, SumSeconds = 0.0;
   int64_t NumBounds = 0, NumNonTrivial = 0, NumOom = 0;
+  int64_t MaxRegions = 0, MaxNodes = 0, MaxRetries = 0;
   size_t PeakBytes = 0;
   Rng SampleRng(0x5eed5eedu);
 
@@ -232,6 +262,9 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
           Analyzer.propagateSegment(Pipeline, LatentShape, E1, E2);
       PairOom = State.OutOfMemory;
       PeakBytes = std::max(PeakBytes, State.PeakBytes);
+      MaxRegions = std::max(MaxRegions, State.Stats.MaxRegions);
+      MaxNodes = std::max(MaxNodes, State.Stats.MaxNodes);
+      MaxRetries = std::max(MaxRetries, State.Retries);
       for (const OutputSpec &Spec : Specs)
         AllBounds.push_back(Analyzer.boundsFor(State, Spec));
     }
@@ -263,13 +296,17 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
   }
   Cell.NumBounds = NumBounds;
   Cell.PeakGb = toScaledGb(PeakBytes, Config.MemoryBudgetBytes);
+  Cell.MaxRegions = MaxRegions;
+  Cell.MaxNodes = MaxNodes;
+  Cell.Retries = MaxRetries;
   return Cell;
 }
 
 namespace {
 const char *GridHeader =
     "key,dataset,network,method,neurons,pairs,bounds,width,lower,upper,"
-    "nontrivial,oom,seconds,peakgb";
+    "nontrivial,oom,seconds,peakgb,maxregions,maxnodes,retries";
+const char *ConfigLinePrefix = "#config ";
 } // namespace
 
 void BenchEnv::saveCache() {
@@ -278,6 +315,7 @@ void BenchEnv::saveCache() {
   std::ofstream Out(Config.ResultsDir + "/grid.csv");
   if (!Out)
     return;
+  Out << ConfigLinePrefix << configFingerprint() << '\n';
   Out << GridHeader << '\n';
   for (const auto &[Key, Cell] : Cache) {
     Out << Key << ',' << Cell.DatasetName << ',' << Cell.NetworkName << ','
@@ -285,7 +323,8 @@ void BenchEnv::saveCache() {
         << Cell.NumPairs << ',' << Cell.NumBounds << ',' << Cell.MeanWidth
         << ',' << Cell.MeanLower << ',' << Cell.MeanUpper << ','
         << Cell.FractionNonTrivial << ',' << Cell.FractionOom << ','
-        << Cell.MeanSeconds << ',' << Cell.PeakGb << '\n';
+        << Cell.MeanSeconds << ',' << Cell.PeakGb << ',' << Cell.MaxRegions
+        << ',' << Cell.MaxNodes << ',' << Cell.Retries << '\n';
   }
   Dirty = false;
 }
@@ -295,7 +334,19 @@ void BenchEnv::loadCache() {
   if (!In)
     return;
   std::string Line;
-  std::getline(In, Line); // header
+  // The first line pins the BenchConfig the cells were computed under; a
+  // mismatch (changed knobs, or a pre-fingerprint cache) discards the
+  // whole file rather than serving stale cells.
+  std::getline(In, Line);
+  if (Line != ConfigLinePrefix + configFingerprint()) {
+    std::fprintf(stderr,
+                 "[bench] results/grid.csv was computed under a different "
+                 "BenchConfig; recomputing\n");
+    return;
+  }
+  std::getline(In, Line); // column header
+  if (Line != GridHeader)
+    return;
   while (std::getline(In, Line)) {
     std::istringstream Row(Line);
     std::string Field;
@@ -330,11 +381,69 @@ void BenchEnv::loadCache() {
     Cell.FractionOom = std::stod(Next());
     Cell.MeanSeconds = std::stod(Next());
     Cell.PeakGb = std::stod(Next());
+    Cell.MaxRegions = std::stoll(Next());
+    Cell.MaxNodes = std::stoll(Next());
+    Cell.Retries = std::stoll(Next());
     for (int M = 0; M < static_cast<int>(Method::NumMethods); ++M)
       if (MethodStr == methodName(static_cast<Method>(M)))
         Cell.Which = static_cast<Method>(M);
     Cache[Key] = Cell;
   }
+}
+
+void BenchEnv::writeRunReport() {
+  std::ofstream Out(Config.ResultsDir + "/run_report.json");
+  if (!Out)
+    return;
+  JsonWriter W;
+  W.beginObject();
+
+  W.key("config");
+  W.beginObject();
+  W.key("fingerprint").value(configFingerprint());
+  W.key("pairs_per_cell").value(Config.PairsPerCell);
+  W.key("zono_pairs_per_cell").value(Config.ZonoPairsPerCell);
+  W.key("samples_per_pair").value(Config.SamplesPerPair);
+  W.key("sampling_alpha").value(Config.SamplingAlpha);
+  W.key("relax_percent").value(Config.RelaxPercent);
+  W.key("cluster_k").value(Config.ClusterK);
+  W.key("node_threshold").value(Config.NodeThreshold);
+  W.key("memory_budget_bytes")
+      .value(static_cast<int64_t>(Config.MemoryBudgetBytes));
+  W.endObject();
+
+  W.key("cells");
+  W.beginArray();
+  for (const auto &[Key, Cell] : Cache) {
+    W.beginObject();
+    W.key("key").value(Key);
+    W.key("dataset").value(Cell.DatasetName);
+    W.key("network").value(Cell.NetworkName);
+    W.key("method").value(std::string(methodName(Cell.Which)));
+    W.key("fresh").value(FreshKeys.count(Key) > 0);
+    W.key("neurons").value(Cell.Neurons);
+    W.key("pairs").value(Cell.NumPairs);
+    W.key("bounds").value(Cell.NumBounds);
+    W.key("mean_width").value(Cell.MeanWidth);
+    W.key("mean_lower").value(Cell.MeanLower);
+    W.key("mean_upper").value(Cell.MeanUpper);
+    W.key("fraction_nontrivial").value(Cell.FractionNonTrivial);
+    W.key("fraction_oom").value(Cell.FractionOom);
+    W.key("mean_seconds").value(Cell.MeanSeconds);
+    W.key("peak_gb").value(Cell.PeakGb);
+    W.key("max_regions").value(Cell.MaxRegions);
+    W.key("max_nodes").value(Cell.MaxNodes);
+    W.key("retries").value(Cell.Retries);
+    W.endObject();
+  }
+  W.endArray();
+
+  // The process-global metrics snapshot (propagate.splits, refine.retries,
+  // propagate.layer_seconds, ...) accumulated while computing fresh cells.
+  W.key("metrics").raw(MetricsRegistry::global().toJson());
+
+  W.endObject();
+  Out << W.str() << '\n';
 }
 
 } // namespace genprove

@@ -22,6 +22,7 @@
 #include "src/core/model_zoo.h"
 #include "src/sampling/sampler.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,11 @@ struct GridCell {
   double FractionOom = 0.0;
   double MeanSeconds = 0.0;
   double PeakGb = 0.0; ///< simulated device memory, in (scaled) GB.
+  // Engine telemetry (GenProve-family methods; 0 for the convex domains
+  // and the sampling baseline).
+  int64_t MaxRegions = 0;
+  int64_t MaxNodes = 0;
+  int64_t Retries = 0;
 };
 
 /// Harness configuration for all bench binaries.
@@ -92,6 +98,17 @@ public:
   /// Persist the grid cache now (also done on destruction).
   void saveCache();
 
+  /// Hash of every BenchConfig knob that influences cell values. Written
+  /// as a header line of results/grid.csv, so a cache computed under
+  /// different knobs (RelaxPercent, PairsPerCell, ...) is discarded
+  /// instead of silently served stale.
+  std::string configFingerprint() const;
+
+  /// Write results/run_report.json: the config (with fingerprint), every
+  /// grid cell with a fresh/cached flag, and the global metrics snapshot.
+  /// Also done on destruction, so every bench binary leaves a report.
+  void writeRunReport();
+
   ~BenchEnv();
 
 private:
@@ -104,6 +121,7 @@ private:
   BenchConfig Config;
   ModelZoo Zoo;
   std::map<std::string, GridCell> Cache;
+  std::set<std::string> FreshKeys; ///< keys computed by this process
   bool Dirty = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include "src/core/genprove.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 #include "src/util/timer.h"
 
@@ -12,12 +14,16 @@ namespace genprove {
 PropagatedState GenProve::propagateWithSchedule(
     const std::vector<const Layer *> &Layers, const Shape &InputShape,
     const std::vector<Region> &Initial) const {
+  GENPROVE_SPAN("propagate_with_schedule");
+  static Counter &RetriesCtr =
+      MetricsRegistry::global().counter("refine.retries");
   Timer Clock;
   double P = Config.RelaxPercent;
   double K = Config.ClusterK;
 
   PropagatedState State;
   for (int64_t Attempt = 0;; ++Attempt) {
+    GENPROVE_SPAN("attempt");
     DeviceMemoryModel Memory(Config.MemoryBudgetBytes);
     PropagateConfig PropConfig;
     PropConfig.Relax.RelaxPercent = P;
@@ -49,6 +55,7 @@ PropagatedState GenProve::propagateWithSchedule(
     P = P <= 0.0 ? 0.005 : std::min(Factor * P, 1.0);
     K = std::max(0.95 * K, 5.0);
   }
+  RetriesCtr.add(State.Retries);
   State.Seconds = Clock.seconds();
   return State;
 }
@@ -96,6 +103,29 @@ GenProve::propagateSegment(const std::vector<const Layer *> &Layers,
         std::max(Merged.Stats.MaxNodes, Part.Stats.MaxNodes);
     Merged.Stats.NumSplits += Part.Stats.NumSplits;
     Merged.Stats.NumBoxed += Part.Stats.NumBoxed;
+    // Merge the per-layer timelines: the parts run the same pipeline, so
+    // add the flows, sum the times, and keep the per-layer charge maxima
+    // (each part releases its state before the next starts).
+    if (Merged.Stats.Layers.empty()) {
+      Merged.Stats.Layers = Part.Stats.Layers;
+    } else {
+      const size_t Common =
+          std::min(Merged.Stats.Layers.size(), Part.Stats.Layers.size());
+      for (size_t L = 0; L < Common; ++L) {
+        LayerRecord &Into = Merged.Stats.Layers[L];
+        const LayerRecord &From = Part.Stats.Layers[L];
+        Into.RegionsIn += From.RegionsIn;
+        Into.RegionsOut += From.RegionsOut;
+        Into.NodesIn += From.NodesIn;
+        Into.NodesOut += From.NodesOut;
+        Into.Splits += From.Splits;
+        Into.Boxed += From.Boxed;
+        Into.ChargedBytes = std::max(Into.ChargedBytes, From.ChargedBytes);
+        Into.Seconds += From.Seconds;
+      }
+    }
+    if (Part.Stats.OomLayer >= 0)
+      Merged.Stats.OomLayer = Part.Stats.OomLayer;
     Merged.UsedRelaxPercent = Part.UsedRelaxPercent;
     Merged.UsedClusterK = Part.UsedClusterK;
     if (Part.OutOfMemory) {
@@ -171,6 +201,7 @@ GenProve::analyzeSegment(const std::vector<const Layer *> &Layers,
   Result.MaxRegions = State.Stats.MaxRegions;
   Result.MaxNodes = State.Stats.MaxNodes;
   Result.Retries = State.Retries;
+  Result.Layers = State.Stats.Layers;
   return Result;
 }
 
@@ -189,6 +220,7 @@ GenProve::analyzeQuadratic(const std::vector<const Layer *> &Layers,
   Result.MaxRegions = State.Stats.MaxRegions;
   Result.MaxNodes = State.Stats.MaxNodes;
   Result.Retries = State.Retries;
+  Result.Layers = State.Stats.Layers;
   return Result;
 }
 

@@ -63,7 +63,8 @@ struct PropagatedState {
   ParamCdf Cdf;
 };
 
-/// A single-spec analysis outcome.
+/// A single-spec analysis outcome. Layers is the per-layer telemetry
+/// timeline of the final propagation attempt (see LayerRecord).
 struct AnalysisResult {
   ProbBounds Bounds;
   size_t PeakBytes = 0;
@@ -72,6 +73,7 @@ struct AnalysisResult {
   int64_t MaxRegions = 0;
   int64_t MaxNodes = 0;
   int64_t Retries = 0;
+  std::vector<LayerRecord> Layers;
 };
 
 /// The verifier.

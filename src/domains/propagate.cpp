@@ -2,10 +2,32 @@
 
 #include "src/domains/propagate.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/timer.h"
+
 #include <algorithm>
 #include <cmath>
 
 namespace genprove {
+
+const char *layerKindName(Layer::Kind K) {
+  switch (K) {
+  case Layer::Kind::Linear:
+    return "Linear";
+  case Layer::Kind::Conv2d:
+    return "Conv2d";
+  case Layer::Kind::ConvTranspose2d:
+    return "ConvTranspose2d";
+  case Layer::Kind::ReLU:
+    return "ReLU";
+  case Layer::Kind::Flatten:
+    return "Flatten";
+  case Layer::Kind::Reshape:
+    return "Reshape";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -131,6 +153,7 @@ void reluBox(Region &Box) {
 /// then mask each piece by the per-component sign at its midpoint.
 void reluCurve(const Region &Curve, const PropagateConfig &Config,
                std::vector<Region> &Out, PropagateStats &Stats) {
+  GENPROVE_SPAN("relu_split");
   const int64_t N = Curve.dim();
   std::vector<double> Cuts;
   Cuts.push_back(Curve.T0);
@@ -179,21 +202,54 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
                                      const PropagateConfig &Config,
                                      DeviceMemoryModel &Memory,
                                      PropagateStats &Stats) {
+  GENPROVE_SPAN("propagate");
+  // Registered once; add() is a no-op while metrics are disabled.
+  static Counter &SplitsCtr =
+      MetricsRegistry::global().counter("propagate.splits");
+  static Counter &BoxedCtr =
+      MetricsRegistry::global().counter("propagate.boxed");
+  static Counter &OomCtr = MetricsRegistry::global().counter("propagate.oom");
+  static Histogram &LayerSecondsHist =
+      MetricsRegistry::global().histogram("propagate.layer_seconds");
+
+  // Stats may arrive pre-populated (merged analyses); count only the
+  // deltas produced by this call.
+  const int64_t Splits0 = Stats.NumSplits;
+  const int64_t Boxed0 = Stats.NumBoxed;
+  const auto FlushCounters = [&] {
+    SplitsCtr.add(Stats.NumSplits - Splits0);
+    BoxedCtr.add(Stats.NumBoxed - Boxed0);
+    OomCtr.add(Stats.OutOfMemory ? 1 : 0);
+  };
+
   Shape CurShape = InputShape;
   if (!Memory.chargeState(totalNodes(Regions),
                           Regions.empty() ? 0 : Regions.front().dim())) {
     Stats.OutOfMemory = true;
+    FlushCounters();
     return {};
   }
 
-  for (const Layer *L : Layers) {
+  for (size_t Li = 0; Li < Layers.size(); ++Li) {
+    const Layer *L = Layers[Li];
+    LayerRecord Rec;
+    Rec.Index = static_cast<int64_t>(Li);
+    Rec.Kind = layerKindName(L->kind());
+    Rec.RegionsIn = static_cast<int64_t>(Regions.size());
+    Rec.NodesIn = totalNodes(Regions);
+    const int64_t LayerSplits0 = Stats.NumSplits;
+    Timer LayerClock;
+    GENPROVE_SPAN(Rec.Kind);
+
     // Relaxation fires right before convolutional layers (Section 3.1).
     const bool IsConvolutional = L->kind() == Layer::Kind::Conv2d ||
                                  L->kind() == Layer::Kind::ConvTranspose2d;
     if (Config.EnableRelax && IsConvolutional) {
+      GENPROVE_SPAN("relax");
       const int64_t Before = static_cast<int64_t>(Regions.size());
       relaxRegions(Regions, Config.Relax);
-      Stats.NumBoxed += Before - static_cast<int64_t>(Regions.size());
+      Rec.Boxed = Before - static_cast<int64_t>(Regions.size());
+      Stats.NumBoxed += Rec.Boxed;
     }
 
     if (L->isAffine()) {
@@ -220,6 +276,16 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
         // host allocation far exceed the simulated device budget.
         if (!Memory.chargeState(RunningNodes, CurShape.numel())) {
           Stats.OutOfMemory = true;
+          Stats.OomLayer = static_cast<int64_t>(Li);
+          Rec.RegionsOut = static_cast<int64_t>(Next.size());
+          Rec.NodesOut = RunningNodes;
+          Rec.Splits = Stats.NumSplits - LayerSplits0;
+          Rec.ChargedBytes = static_cast<size_t>(RunningNodes) *
+                             static_cast<size_t>(CurShape.numel()) *
+                             sizeof(double);
+          Rec.Seconds = LayerClock.seconds();
+          Stats.Layers.push_back(Rec);
+          FlushCounters();
           return {};
         }
       }
@@ -230,11 +296,22 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
         std::max(Stats.MaxRegions, static_cast<int64_t>(Regions.size()));
     const int64_t Nodes = totalNodes(Regions);
     Stats.MaxNodes = std::max(Stats.MaxNodes, Nodes);
+    Rec.RegionsOut = static_cast<int64_t>(Regions.size());
+    Rec.NodesOut = Nodes;
+    Rec.Splits = Stats.NumSplits - LayerSplits0;
+    Rec.ChargedBytes = static_cast<size_t>(Nodes) *
+                       static_cast<size_t>(CurShape.numel()) * sizeof(double);
+    Rec.Seconds = LayerClock.seconds();
+    LayerSecondsHist.record(Rec.Seconds);
+    Stats.Layers.push_back(Rec);
     if (!Memory.chargeState(Nodes, CurShape.numel())) {
       Stats.OutOfMemory = true;
+      Stats.OomLayer = static_cast<int64_t>(Li);
+      FlushCounters();
       return {};
     }
   }
+  FlushCounters();
   return Regions;
 }
 

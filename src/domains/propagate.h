@@ -46,13 +46,41 @@ struct PropagateConfig {
   double SplitEps = 1e-9;   ///< minimum gap between split points.
 };
 
-/// Engine telemetry for the scalability tables.
+/// Display name of a layer kind for telemetry ("Linear", "ReLU", ...).
+const char *layerKindName(Layer::Kind K);
+
+/// One row of the per-layer telemetry timeline: what the abstract state
+/// looked like entering and leaving each layer, and what the layer cost.
+/// ChargedBytes is the simulated-device charge for the layer's output
+/// state (nodes x activation-dim x sizeof(double)); its maximum over the
+/// timeline is the propagation's device peak whenever the input charge
+/// does not dominate.
+struct LayerRecord {
+  int64_t Index = 0;
+  const char *Kind = ""; ///< static string from layerKindName()
+  int64_t RegionsIn = 0;
+  int64_t RegionsOut = 0;
+  int64_t NodesIn = 0;
+  int64_t NodesOut = 0;
+  int64_t Splits = 0; ///< ReLU splits performed inside this layer
+  int64_t Boxed = 0;  ///< regions boxed by relaxation before this layer
+  size_t ChargedBytes = 0;
+  double Seconds = 0.0;
+};
+
+/// Engine telemetry for the scalability tables. The aggregate fields are
+/// projections of the Layers timeline: MaxRegions/MaxNodes are the maxima
+/// of the per-layer outputs, NumSplits/NumBoxed their sums.
 struct PropagateStats {
   int64_t MaxRegions = 0;
   int64_t MaxNodes = 0;
   int64_t NumSplits = 0;
   int64_t NumBoxed = 0;
   bool OutOfMemory = false;
+  /// Index of the layer whose charge blew the budget; -1 when no OOM or
+  /// when already the initial input state did not fit.
+  int64_t OomLayer = -1;
+  std::vector<LayerRecord> Layers;
 };
 
 /// Push \p Regions through \p Layers. \p InputShape is the single-sample

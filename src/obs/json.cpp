@@ -1,0 +1,350 @@
+//===- obs/json.cpp -------------------------------------------*- C++ -*-===//
+
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+namespace genprove {
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::separate() {
+  if (AfterKey)
+    return; // the key already emitted ':'; the value follows directly.
+  if (!HasValue.empty() && HasValue.back())
+    Out += ',';
+}
+
+void JsonWriter::closeValue() {
+  if (!HasValue.empty())
+    HasValue.back() = true;
+  AfterKey = false;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  HasValue.push_back(false);
+  AfterKey = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += '}';
+  if (!HasValue.empty())
+    HasValue.pop_back();
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  HasValue.push_back(false);
+  AfterKey = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += ']';
+  if (!HasValue.empty())
+    HasValue.pop_back();
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  separate();
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
+  AfterKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &V) {
+  separate();
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *V) {
+  return value(std::string(V ? V : ""));
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  if (!std::isfinite(V))
+    return nullValue();
+  separate();
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  separate();
+  Out += std::to_string(V);
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  separate();
+  Out += V ? "true" : "false";
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::nullValue() {
+  separate();
+  Out += "null";
+  closeValue();
+  return *this;
+}
+
+JsonWriter &JsonWriter::raw(const std::string &Json) {
+  separate();
+  Out += Json;
+  closeValue();
+  return *this;
+}
+
+std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// validateJson — a minimal recursive-descent checker.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonParser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+  static constexpr int MaxDepth = 512;
+
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  bool fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    for (const char *P = Word; *P; ++P, ++Pos)
+      if (Pos >= Text.size() || Text[Pos] != *P)
+        return fail(std::string("bad literal (expected ") + Word + ")");
+    return true;
+  }
+
+  bool string() {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected '\"'");
+    ++Pos;
+    while (Pos < Text.size()) {
+      const char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("dangling escape");
+        const char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (Pos >= Text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+              return fail("bad \\u escape");
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(E) ==
+                   std::string_view::npos) {
+          return fail("bad escape");
+        }
+        ++Pos;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        return fail("unescaped control character");
+      } else {
+        ++Pos;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return fail("bad number");
+    if (Text[Pos] == '0') {
+      ++Pos;
+    } else {
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("bad fraction");
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("bad exponent");
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool value(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{': {
+      ++Pos;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        if (!value(Depth + 1))
+          return false;
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < Text.size() && Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    case '[': {
+      ++Pos;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        if (!value(Depth + 1))
+          return false;
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < Text.size() && Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+} // namespace
+
+bool validateJson(const std::string &Text, std::string *Error) {
+  JsonParser P(Text);
+  bool Ok = P.value(0);
+  if (Ok) {
+    P.skipWs();
+    if (P.Pos != Text.size()) {
+      P.fail("trailing garbage");
+      Ok = false;
+    }
+  }
+  if (!Ok && Error)
+    *Error = P.Error;
+  return Ok;
+}
+
+} // namespace genprove

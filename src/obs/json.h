@@ -1,0 +1,67 @@
+//===- obs/json.h - Tiny JSON writer and validator -------------*- C++ -*-===//
+///
+/// \file
+/// The observability exporters (Chrome trace events, metrics snapshots, the
+/// bench run report) all emit JSON. JsonWriter is a streaming writer that
+/// handles escaping, comma placement and non-finite doubles (emitted as
+/// null, since JSON has no Infinity/NaN); validateJson is a minimal
+/// recursive-descent checker used by the tests and the CI smoke run to
+/// assert the emitted files actually parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_OBS_JSON_H
+#define GENPROVE_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genprove {
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter W;
+///   W.beginObject().key("a").value(int64_t(1)).endObject();
+///   W.str() == R"({"a":1})"
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter &key(const std::string &K);
+
+  JsonWriter &value(const std::string &V);
+  JsonWriter &value(const char *V);
+  /// Non-finite doubles become null (JSON has no Infinity/NaN literal).
+  JsonWriter &value(double V);
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(bool V);
+  JsonWriter &nullValue();
+
+  /// Splice a pre-rendered JSON value verbatim (e.g. a nested snapshot).
+  JsonWriter &raw(const std::string &Json);
+
+  const std::string &str() const { return Out; }
+
+private:
+  void separate();
+  void closeValue();
+
+  std::string Out;
+  std::vector<bool> HasValue; ///< per open container: need a comma?
+  bool AfterKey = false;
+};
+
+/// Escape a string for embedding in a JSON document (without quotes).
+std::string jsonEscape(const std::string &Text);
+
+/// True when \p Text is one complete, well-formed JSON value. On failure,
+/// \p Error (if non-null) receives a short description with an offset.
+bool validateJson(const std::string &Text, std::string *Error = nullptr);
+
+} // namespace genprove
+
+#endif // GENPROVE_OBS_JSON_H

@@ -1,0 +1,191 @@
+//===- obs/metrics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "src/obs/metrics.h"
+
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <fstream>
+
+namespace genprove {
+
+namespace obs_detail {
+std::atomic<bool> MetricsEnabledFlag{false};
+} // namespace obs_detail
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+int Histogram::bucketIndex(double V) {
+  if (!(V > 0.0)) // covers 0, negatives and NaN
+    return 0;
+  if (std::isinf(V))
+    return NumBuckets - 1;
+  int Exp = 0;
+  const double Mantissa = std::frexp(V, &Exp); // V = Mantissa * 2^Exp
+  // frexp puts Mantissa in [0.5, 1): V lies in (2^(Exp-1), 2^Exp] except
+  // when Mantissa == 0.5 exactly, where V == 2^(Exp-1).
+  int E = Mantissa == 0.5 ? Exp - 1 : Exp;
+  if (E > MaxExp)
+    return NumBuckets - 1;
+  if (E < MinExp)
+    E = MinExp; // the lowest positive bucket absorbs the tail
+  return E - MinExp + 1;
+}
+
+Histogram::Bucket Histogram::bucketBounds(int Index) {
+  constexpr double Inf = std::numeric_limits<double>::infinity();
+  Bucket B;
+  if (Index <= 0) {
+    B.Lo = -Inf;
+    B.Hi = 0.0;
+  } else if (Index >= NumBuckets - 1) {
+    B.Lo = std::ldexp(1.0, MaxExp);
+    B.Hi = Inf;
+  } else {
+    const int E = MinExp + Index - 1;
+    B.Lo = Index == 1 ? 0.0 : std::ldexp(1.0, E - 1);
+    B.Hi = std::ldexp(1.0, E);
+  }
+  return B;
+}
+
+std::vector<Histogram::Bucket> Histogram::nonEmptyBuckets() const {
+  std::vector<Bucket> Out;
+  for (int I = 0; I < NumBuckets; ++I) {
+    const int64_t C = bucketCount(I);
+    if (C == 0)
+      continue;
+    Bucket B = bucketBounds(I);
+    B.Count = C;
+    Out.push_back(B);
+  }
+  return Out;
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  NumSamples.store(0, std::memory_order_relaxed);
+  Sum.store(0.0, std::memory_order_relaxed);
+  MinSample.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+  MaxSample.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(Name, std::unique_ptr<Counter>(new Counter(Name)))
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(Name, std::unique_ptr<Gauge>(new Gauge(Name))).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(Name, std::unique_ptr<Histogram>(new Histogram(Name)))
+             .first;
+  return *It->second;
+}
+
+const Counter *MetricsRegistry::findCounter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? nullptr : It->second.get();
+}
+
+const Gauge *MetricsRegistry::findGauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? nullptr : It->second.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : It->second.get();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  JsonWriter W;
+  W.beginObject();
+
+  W.key("counters").beginObject();
+  for (const auto &[Name, C] : Counters)
+    W.key(Name).value(C->value());
+  W.endObject();
+
+  W.key("gauges").beginObject();
+  for (const auto &[Name, G] : Gauges)
+    W.key(Name).value(G->value());
+  W.endObject();
+
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name).beginObject();
+    W.key("count").value(H->count());
+    W.key("sum").value(H->total());
+    // Non-finite min/max (empty histogram, or inf samples) render as null.
+    W.key("min").value(H->minSample());
+    W.key("max").value(H->maxSample());
+    W.key("buckets").beginArray();
+    for (const Histogram::Bucket &B : H->nonEmptyBuckets()) {
+      W.beginObject();
+      W.key("lo").value(B.Lo);
+      W.key("hi").value(B.Hi);
+      W.key("count").value(B.Count);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}
+
+bool MetricsRegistry::writeJson(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << toJson() << '\n';
+  return static_cast<bool>(Out);
+}
+
+} // namespace genprove

@@ -1,0 +1,136 @@
+//===- obs/trace.cpp ------------------------------------------*- C++ -*-===//
+
+#include "src/obs/trace.h"
+
+#include "src/obs/json.h"
+
+#include <fstream>
+
+namespace genprove {
+
+namespace obs_detail {
+std::atomic<bool> TraceEnabledFlag{false};
+} // namespace obs_detail
+
+void setTraceEnabled(bool On) {
+  obs_detail::TraceEnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The innermost open span of the current thread (the nesting stack).
+thread_local ScopedSpan *CurrentSpan = nullptr;
+
+/// Small stable per-thread ids so traces stay readable.
+uint32_t currentTid() {
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TraceSession
+//===----------------------------------------------------------------------===//
+
+TraceSession::TraceSession() : Epoch(std::chrono::steady_clock::now()) {}
+
+TraceSession &TraceSession::global() {
+  static TraceSession Session;
+  return Session;
+}
+
+uint64_t TraceSession::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.clear();
+  Epoch = std::chrono::steady_clock::now();
+}
+
+void TraceSession::record(TraceEvent Event) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(Event));
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+size_t TraceSession::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+std::string TraceSession::toChromeJson() const {
+  const std::vector<TraceEvent> Snapshot = events();
+  JsonWriter W;
+  W.beginArray();
+  for (const TraceEvent &E : Snapshot) {
+    W.beginObject();
+    W.key("name").value(E.Name);
+    W.key("cat").value("genprove");
+    W.key("ph").value("X");
+    W.key("ts").value(static_cast<int64_t>(E.StartUs));
+    W.key("dur").value(static_cast<int64_t>(E.DurUs));
+    W.key("pid").value(int64_t(1));
+    W.key("tid").value(static_cast<int64_t>(E.Tid));
+    W.key("args").beginObject();
+    W.key("self_us").value(static_cast<int64_t>(E.SelfUs));
+    W.key("depth").value(static_cast<int64_t>(E.Depth));
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  return W.str();
+}
+
+bool TraceSession::writeChromeTrace(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << toChromeJson() << '\n';
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedSpan
+//===----------------------------------------------------------------------===//
+
+void ScopedSpan::open(const char *SpanName) {
+  Name = SpanName;
+  Parent = CurrentSpan;
+  Depth = Parent ? Parent->Depth + 1 : 0;
+  StartUs = TraceSession::global().nowUs();
+  if (Parent)
+    Parent->Self.pause(); // child time is excluded from the parent's self
+  Self.start();
+  CurrentSpan = this;
+  Live = true;
+}
+
+void ScopedSpan::close() {
+  Self.pause();
+  const uint64_t EndUs = TraceSession::global().nowUs();
+  TraceEvent Event;
+  Event.Name = Name;
+  Event.StartUs = StartUs;
+  Event.DurUs = EndUs >= StartUs ? EndUs - StartUs : 0;
+  Event.SelfUs = static_cast<uint64_t>(Self.seconds() * 1e6);
+  Event.Tid = currentTid();
+  Event.Depth = Depth;
+  TraceSession::global().record(std::move(Event));
+  CurrentSpan = Parent;
+  if (Parent)
+    Parent->Self.resume();
+  Live = false;
+}
+
+} // namespace genprove

@@ -1,7 +1,9 @@
 //===- util/timer.h - Wall-clock timing -----------------------*- C++ -*-===//
 ///
 /// \file
-/// Minimal wall-clock stopwatch used by the benchmark harnesses.
+/// Minimal wall-clock stopwatch used by the benchmark harnesses, plus an
+/// accumulating pause/resume stopwatch used by the tracing layer to measure
+/// a span's self time (total time minus time spent in child spans).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +30,56 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
+};
+
+/// Accumulating stopwatch with pause/resume. Unlike Timer it starts
+/// stopped, and seconds() only counts the intervals between start()/resume()
+/// and the matching pause(). ScopedSpan pauses its own accumulator while a
+/// child span runs, which yields exclusive (self) time.
+class AccumTimer {
+public:
+  /// Begin (or resume) accumulating; no-op when already running.
+  void start() {
+    if (Running)
+      return;
+    SegmentStart = Clock::now();
+    Running = true;
+  }
+
+  /// Synonym for start(), for call sites that read better as a resume.
+  void resume() { start(); }
+
+  /// Stop accumulating, keeping the total; no-op when already paused.
+  void pause() {
+    if (!Running)
+      return;
+    Accumulated +=
+        std::chrono::duration<double>(Clock::now() - SegmentStart).count();
+    Running = false;
+  }
+
+  /// Accumulated seconds, including the currently running segment.
+  double seconds() const {
+    double Total = Accumulated;
+    if (Running)
+      Total +=
+          std::chrono::duration<double>(Clock::now() - SegmentStart).count();
+    return Total;
+  }
+
+  bool running() const { return Running; }
+
+  /// Back to zero, stopped.
+  void reset() {
+    Accumulated = 0.0;
+    Running = false;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point SegmentStart{};
+  double Accumulated = 0.0;
+  bool Running = false;
 };
 
 } // namespace genprove

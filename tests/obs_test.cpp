@@ -1,0 +1,441 @@
+//===- tests/obs_test.cpp - observability layer unit tests ------*- C++ -*-===//
+
+#include "src/domains/propagate.h"
+#include "src/nn/activations.h"
+#include "src/nn/linear.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace genprove {
+namespace {
+
+/// Saves and restores the global metrics/trace switches so obs tests cannot
+/// leak an enabled flag into the timing-sensitive rest of the suite.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    WasMetrics = metricsEnabled();
+    WasTrace = traceEnabled();
+    MetricsRegistry::global().reset();
+    TraceSession::global().clear();
+  }
+  void TearDown() override {
+    setMetricsEnabled(WasMetrics);
+    setTraceEnabled(WasTrace);
+    MetricsRegistry::global().reset();
+    TraceSession::global().clear();
+  }
+
+private:
+  bool WasMetrics = false;
+  bool WasTrace = false;
+};
+
+//===----------------------------------------------------------------------===//
+// JsonWriter / validateJson
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterNestsAndSeparates) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("a").value(int64_t(1));
+  W.key("b").beginArray().value(2.5).value("x").value(true).nullValue();
+  W.endArray();
+  W.key("c").beginObject().key("d").value(int64_t(-3)).endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"a":1,"b":[2.5,"x",true,null],"c":{"d":-3}})");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(Json, WriterEscapesStrings) {
+  JsonWriter W;
+  W.beginObject().key("s").value("a\"b\\c\nd\te\x01").endObject();
+  EXPECT_EQ(W.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(Json, WriterTurnsNonFiniteIntoNull) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(std::numeric_limits<double>::infinity());
+  W.value(-std::numeric_limits<double>::infinity());
+  W.value(std::numeric_limits<double>::quiet_NaN());
+  W.value(1.5);
+  W.endArray();
+  EXPECT_EQ(W.str(), "[null,null,null,1.5]");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(Json, WriterRawSplicesVerbatim) {
+  JsonWriter Inner;
+  Inner.beginObject().key("k").value(int64_t(7)).endObject();
+  JsonWriter W;
+  W.beginObject().key("nested").raw(Inner.str()).key("after").value(true);
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"nested":{"k":7},"after":true})");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(Json, ValidatorAcceptsCornerCases) {
+  EXPECT_TRUE(validateJson("null"));
+  EXPECT_TRUE(validateJson("  [ ]  "));
+  EXPECT_TRUE(validateJson("{}"));
+  EXPECT_TRUE(validateJson("-1.5e-3"));
+  EXPECT_TRUE(validateJson(R"("é\n")"));
+}
+
+TEST(Json, ValidatorRejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(validateJson("", &Error));
+  EXPECT_FALSE(validateJson("{", &Error));
+  EXPECT_FALSE(validateJson("[1,]", &Error));
+  EXPECT_FALSE(validateJson("{\"a\":1,}", &Error));
+  EXPECT_FALSE(validateJson("{\"a\" 1}", &Error));
+  EXPECT_FALSE(validateJson("\"unterminated", &Error));
+  EXPECT_FALSE(validateJson("\"bad \\q escape\"", &Error));
+  EXPECT_FALSE(validateJson("\"bad \\u12 hex\"", &Error));
+  EXPECT_FALSE(validateJson("01", &Error));
+  EXPECT_FALSE(validateJson("nul", &Error));
+  EXPECT_FALSE(validateJson("{} trailing", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, DisabledMetricsDoNotMutate) {
+  setMetricsEnabled(false);
+  Counter &C = MetricsRegistry::global().counter("test.disabled");
+  Gauge &G = MetricsRegistry::global().gauge("test.disabled_gauge");
+  Histogram &H = MetricsRegistry::global().histogram("test.disabled_hist");
+  C.add(5);
+  G.set(3.0);
+  G.setMax(9.0);
+  H.record(1.0);
+  EXPECT_EQ(C.value(), 0);
+  EXPECT_EQ(G.value(), 0.0);
+  EXPECT_EQ(H.count(), 0);
+  EXPECT_EQ(H.total(), 0.0);
+}
+
+TEST_F(ObsTest, CounterAndGaugeAccumulate) {
+  setMetricsEnabled(true);
+  Counter &C = MetricsRegistry::global().counter("test.counter");
+  C.add();
+  C.add(4);
+  EXPECT_EQ(C.value(), 5);
+  // counter() returns the same object for the same name.
+  EXPECT_EQ(&C, &MetricsRegistry::global().counter("test.counter"));
+
+  Gauge &G = MetricsRegistry::global().gauge("test.gauge");
+  G.set(2.0);
+  G.setMax(1.0); // below current: keeps 2.0
+  EXPECT_EQ(G.value(), 2.0);
+  G.setMax(7.5);
+  EXPECT_EQ(G.value(), 7.5);
+}
+
+TEST_F(ObsTest, FindDoesNotCreate) {
+  EXPECT_EQ(MetricsRegistry::global().findCounter("never.touched"), nullptr);
+  EXPECT_EQ(MetricsRegistry::global().findGauge("never.touched"), nullptr);
+  EXPECT_EQ(MetricsRegistry::global().findHistogram("never.touched"), nullptr);
+  MetricsRegistry::global().counter("now.exists");
+  EXPECT_NE(MetricsRegistry::global().findCounter("now.exists"), nullptr);
+}
+
+TEST_F(ObsTest, HistogramEdgeSamples) {
+  setMetricsEnabled(true);
+  Histogram &H = MetricsRegistry::global().histogram("test.edges");
+  const double Inf = std::numeric_limits<double>::infinity();
+  H.record(0.0);  // nonpositive edge bucket
+  H.record(-3.0); // nonpositive edge bucket
+  H.record(Inf);  // overflow edge bucket
+  H.record(std::numeric_limits<double>::quiet_NaN()); // counted, no min/max
+  H.record(1.0);
+
+  EXPECT_EQ(H.count(), 5);
+  EXPECT_EQ(H.bucketCount(0), 3); // 0, -3 and NaN
+  EXPECT_EQ(H.bucketCount(Histogram::NumBuckets - 1), 1);
+  // The sum only accumulates finite samples; min/max skip NaN.
+  EXPECT_EQ(H.total(), -2.0);
+  EXPECT_EQ(H.minSample(), -3.0);
+  EXPECT_EQ(H.maxSample(), Inf);
+}
+
+TEST_F(ObsTest, HistogramBucketIndexBoundaries) {
+  // Buckets are (2^(e-1), 2^e]: an exact power of two lands in the bucket
+  // it closes, and the next representable value above it in the next one.
+  EXPECT_EQ(Histogram::bucketIndex(1.0), Histogram::bucketIndex(0.75));
+  EXPECT_NE(Histogram::bucketIndex(1.0), Histogram::bucketIndex(1.5));
+  EXPECT_EQ(Histogram::bucketIndex(2.0), Histogram::bucketIndex(1.5));
+  EXPECT_EQ(Histogram::bucketIndex(4.0), Histogram::bucketIndex(3.0));
+  // Tiny and huge finite values clamp to the covered range's ends.
+  EXPECT_EQ(Histogram::bucketIndex(1e-300), 1);
+  EXPECT_EQ(Histogram::bucketIndex(1e300), Histogram::NumBuckets - 1);
+
+  // Bounds are contiguous: every bucket's Hi is the next bucket's Lo.
+  for (int I = 1; I + 1 < Histogram::NumBuckets; ++I) {
+    const auto B = Histogram::bucketBounds(I);
+    const auto NextB = Histogram::bucketBounds(I + 1);
+    EXPECT_LT(B.Lo, B.Hi);
+    EXPECT_EQ(B.Hi, NextB.Lo) << "bucket " << I;
+  }
+  // A sample sits inside the bounds of its own bucket.
+  for (double V : {1e-9, 0.02, 0.5, 1.0, 3.0, 1234.5}) {
+    const auto B = Histogram::bucketBounds(Histogram::bucketIndex(V));
+    EXPECT_GT(V, B.Lo) << V;
+    EXPECT_LE(V, B.Hi) << V;
+  }
+}
+
+TEST_F(ObsTest, RegistryJsonSnapshotIsValid) {
+  setMetricsEnabled(true);
+  MetricsRegistry::global().counter("snap.counter").add(3);
+  MetricsRegistry::global().gauge("snap.gauge").set(1.25);
+  Histogram &H = MetricsRegistry::global().histogram("snap.hist");
+  H.record(0.5);
+  H.record(2.0);
+
+  const std::string Json = MetricsRegistry::global().toJson();
+  std::string Error;
+  EXPECT_TRUE(validateJson(Json, &Error)) << Error << "\n" << Json;
+  EXPECT_NE(Json.find("\"snap.counter\":3"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"snap.gauge\""), std::string::npos);
+  EXPECT_NE(Json.find("\"snap.hist\""), std::string::npos);
+  EXPECT_NE(Json.find("\"buckets\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetZeroesEverything) {
+  setMetricsEnabled(true);
+  Counter &C = MetricsRegistry::global().counter("reset.counter");
+  Histogram &H = MetricsRegistry::global().histogram("reset.hist");
+  C.add(9);
+  H.record(1.0);
+  MetricsRegistry::global().reset();
+  EXPECT_EQ(C.value(), 0);
+  EXPECT_EQ(H.count(), 0);
+  EXPECT_EQ(H.total(), 0.0);
+  EXPECT_EQ(H.minSample(), std::numeric_limits<double>::infinity());
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing spans
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  setTraceEnabled(false);
+  {
+    GENPROVE_SPAN("outer");
+    GENPROVE_SPAN("inner");
+  }
+  EXPECT_EQ(TraceSession::global().eventCount(), 0u);
+}
+
+TEST_F(ObsTest, SpansNestAndRecordDepth) {
+  setTraceEnabled(true);
+  {
+    GENPROVE_SPAN("outer");
+    {
+      GENPROVE_SPAN("middle");
+      { GENPROVE_SPAN("leaf"); }
+    }
+    { GENPROVE_SPAN("sibling"); }
+  }
+  const std::vector<TraceEvent> Events = TraceSession::global().events();
+  ASSERT_EQ(Events.size(), 4u);
+  // Spans are recorded when they close: innermost first.
+  EXPECT_EQ(Events[0].Name, "leaf");
+  EXPECT_EQ(Events[0].Depth, 2u);
+  EXPECT_EQ(Events[1].Name, "middle");
+  EXPECT_EQ(Events[1].Depth, 1u);
+  EXPECT_EQ(Events[2].Name, "sibling");
+  EXPECT_EQ(Events[2].Depth, 1u);
+  EXPECT_EQ(Events[3].Name, "outer");
+  EXPECT_EQ(Events[3].Depth, 0u);
+
+  const TraceEvent &Outer = Events[3];
+  for (size_t I = 0; I < 3; ++I) {
+    // Children start no earlier and fit inside the parent's window.
+    EXPECT_GE(Events[I].StartUs, Outer.StartUs);
+    EXPECT_LE(Events[I].StartUs + Events[I].DurUs, Outer.StartUs + Outer.DurUs);
+    EXPECT_EQ(Events[I].Tid, Outer.Tid);
+  }
+  // Self time never exceeds wall-clock time.
+  for (const TraceEvent &E : Events)
+    EXPECT_LE(E.SelfUs, E.DurUs + 1) << E.Name; // +1 for rounding
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsValid) {
+  setTraceEnabled(true);
+  {
+    GENPROVE_SPAN("quoted \"name\"");
+    GENPROVE_SPAN("inner");
+  }
+  const std::string Json = TraceSession::global().toChromeJson();
+  std::string Error;
+  EXPECT_TRUE(validateJson(Json, &Error)) << Error << "\n" << Json;
+  EXPECT_EQ(Json.front(), '[');
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"quoted \\\"name\\\"\""), std::string::npos);
+  EXPECT_NE(Json.find("\"self_us\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ClearDropsEventsAndRestartsEpoch) {
+  setTraceEnabled(true);
+  { GENPROVE_SPAN("before_clear"); }
+  EXPECT_EQ(TraceSession::global().eventCount(), 1u);
+  TraceSession::global().clear();
+  EXPECT_EQ(TraceSession::global().eventCount(), 0u);
+  EXPECT_TRUE(validateJson(TraceSession::global().toChromeJson()));
+}
+
+//===----------------------------------------------------------------------===//
+// Per-layer telemetry
+//===----------------------------------------------------------------------===//
+
+Sequential makeMlp(Rng &R) {
+  Sequential Net;
+  auto L1 = std::make_unique<Linear>(4, 12);
+  L1->weight() = Tensor::randn({12, 4}, R, 0.8);
+  L1->bias() = Tensor::randn({12}, R, 0.5);
+  Net.add(std::move(L1));
+  Net.add(std::make_unique<ReLU>());
+  auto L2 = std::make_unique<Linear>(12, 8);
+  L2->weight() = Tensor::randn({8, 12}, R, 0.8);
+  L2->bias() = Tensor::randn({8}, R, 0.5);
+  Net.add(std::move(L2));
+  Net.add(std::make_unique<ReLU>());
+  auto L3 = std::make_unique<Linear>(8, 3);
+  L3->weight() = Tensor::randn({3, 8}, R, 0.8);
+  L3->bias() = Tensor::randn({3}, R, 0.5);
+  Net.add(std::move(L3));
+  return Net;
+}
+
+TEST_F(ObsTest, LayerTimelineProjectsToAggregates) {
+  Rng R(424242);
+  Sequential Net = makeMlp(R);
+  const auto Layers = Net.view();
+  const Shape InShape({1, 4});
+  Tensor E1 = Tensor::randn({1, 4}, R);
+  Tensor E2 = Tensor::randn({1, 4}, R);
+  std::vector<Region> Init{makeSegmentRegion(E1, E2)};
+
+  PropagateConfig Config;
+  Config.EnableRelax = false;
+  DeviceMemoryModel Memory;
+  PropagateStats Stats;
+  const auto Final = propagateRegions(Layers, InShape, std::move(Init),
+                                      Config, Memory, Stats);
+  ASSERT_FALSE(Stats.OutOfMemory);
+  ASSERT_FALSE(Final.empty());
+
+  // One record per layer, in order.
+  ASSERT_EQ(Stats.Layers.size(), Layers.size());
+  for (size_t I = 0; I < Stats.Layers.size(); ++I) {
+    EXPECT_EQ(Stats.Layers[I].Index, static_cast<int64_t>(I));
+    EXPECT_STREQ(Stats.Layers[I].Kind,
+                 layerKindName(Layers[I]->kind()));
+  }
+
+  // The aggregate stats are projections of the timeline.
+  int64_t SumSplits = 0, SumBoxed = 0, MaxRegions = 0, MaxNodes = 0;
+  for (const LayerRecord &Rec : Stats.Layers) {
+    SumSplits += Rec.Splits;
+    SumBoxed += Rec.Boxed;
+    MaxRegions = std::max(MaxRegions, Rec.RegionsOut);
+    MaxNodes = std::max(MaxNodes, Rec.NodesOut);
+    EXPECT_GE(Rec.Seconds, 0.0);
+  }
+  EXPECT_EQ(SumSplits, Stats.NumSplits);
+  EXPECT_EQ(SumBoxed, Stats.NumBoxed);
+  EXPECT_EQ(MaxRegions, Stats.MaxRegions);
+  EXPECT_EQ(MaxNodes, Stats.MaxNodes);
+  EXPECT_EQ(Stats.OomLayer, -1);
+
+  // Flows are contiguous across layers, and the charge is the output
+  // state's device footprint.
+  Shape CurShape = InShape;
+  for (size_t I = 0; I < Stats.Layers.size(); ++I) {
+    const LayerRecord &Rec = Stats.Layers[I];
+    if (I > 0) {
+      EXPECT_EQ(Rec.RegionsIn, Stats.Layers[I - 1].RegionsOut);
+      EXPECT_EQ(Rec.NodesIn, Stats.Layers[I - 1].NodesOut);
+    }
+    if (Layers[I]->isAffine())
+      CurShape = Layers[I]->outputShape(CurShape);
+    EXPECT_EQ(Rec.ChargedBytes, static_cast<size_t>(Rec.NodesOut) *
+                                    static_cast<size_t>(CurShape.numel()) *
+                                    sizeof(double));
+  }
+}
+
+TEST_F(ObsTest, PropagateFeedsRegisteredCounters) {
+  setMetricsEnabled(true);
+  MetricsRegistry::global().reset();
+
+  Rng R(7);
+  Sequential Net = makeMlp(R);
+  Tensor E1 = Tensor::randn({1, 4}, R);
+  Tensor E2 = Tensor::randn({1, 4}, R);
+  std::vector<Region> Init{makeSegmentRegion(E1, E2)};
+  PropagateConfig Config;
+  Config.EnableRelax = false;
+  DeviceMemoryModel Memory;
+  PropagateStats Stats;
+  propagateRegions(Net.view(), Shape({1, 4}), std::move(Init), Config, Memory,
+                   Stats);
+
+  const Counter *Splits =
+      MetricsRegistry::global().findCounter("propagate.splits");
+  const Counter *Oom = MetricsRegistry::global().findCounter("propagate.oom");
+  const Histogram *Seconds =
+      MetricsRegistry::global().findHistogram("propagate.layer_seconds");
+  ASSERT_NE(Splits, nullptr);
+  ASSERT_NE(Oom, nullptr);
+  ASSERT_NE(Seconds, nullptr);
+  EXPECT_EQ(Splits->value(), Stats.NumSplits);
+  EXPECT_EQ(Oom->value(), 0);
+  EXPECT_EQ(Seconds->count(),
+            static_cast<int64_t>(Stats.Layers.size()));
+}
+
+TEST_F(ObsTest, OomTimelineMarksTheFailingLayer) {
+  // Known crossings at t = 0.25 and 0.75: the ReLU produces 3 pieces
+  // (6 nodes x 2 dims x 8 bytes = 96 bytes), which cannot fit a 64-byte
+  // budget, so the OOM deterministically hits layer 1.
+  Sequential Net;
+  auto L = std::make_unique<Linear>(1, 2);
+  L->weight() = Tensor({2, 1}, {1.0, 1.0});
+  L->bias() = Tensor({2}, {-0.25, -0.75});
+  Net.add(std::move(L));
+  Net.add(std::make_unique<ReLU>());
+
+  Tensor E1({1, 1}, {0.0});
+  Tensor E2({1, 1}, {1.0});
+  std::vector<Region> Init{makeSegmentRegion(E1, E2)};
+  PropagateConfig Config;
+  DeviceMemoryModel Memory(64);
+  PropagateStats Stats;
+  const auto Final = propagateRegions(Net.view(), Shape({1, 1}),
+                                      std::move(Init), Config, Memory, Stats);
+  EXPECT_TRUE(Final.empty());
+  ASSERT_TRUE(Stats.OutOfMemory);
+  EXPECT_EQ(Stats.OomLayer, 1);
+  // The timeline ends at the failing layer, with a partial record.
+  ASSERT_EQ(Stats.Layers.size(), 2u);
+  EXPECT_EQ(Stats.Layers.back().Index, Stats.OomLayer);
+  EXPECT_STREQ(Stats.Layers.back().Kind, "ReLU");
+}
+
+} // namespace
+} // namespace genprove

@@ -3,6 +3,7 @@
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
+#include "src/util/timer.h"
 
 #include <gtest/gtest.h>
 
@@ -78,6 +79,51 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(V, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(percentile(V, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(percentile(V, 0.25), 2.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  std::vector<double> V{42.0};
+  EXPECT_DOUBLE_EQ(percentile(V, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 1.0), 42.0);
+}
+
+TEST(Timer, AccumTimerStartsStopped) {
+  AccumTimer T;
+  EXPECT_FALSE(T.running());
+  EXPECT_DOUBLE_EQ(T.seconds(), 0.0);
+  T.pause(); // pause while stopped is a no-op
+  EXPECT_DOUBLE_EQ(T.seconds(), 0.0);
+}
+
+TEST(Timer, AccumTimerPauseFreezesTheTotal) {
+  AccumTimer T;
+  T.start();
+  EXPECT_TRUE(T.running());
+  T.pause();
+  EXPECT_FALSE(T.running());
+  const double Frozen = T.seconds();
+  // Paused: repeated reads return the identical accumulated value.
+  EXPECT_DOUBLE_EQ(T.seconds(), Frozen);
+  EXPECT_DOUBLE_EQ(T.seconds(), Frozen);
+
+  T.resume();
+  T.pause();
+  EXPECT_GE(T.seconds(), Frozen); // resume adds on top, never restarts
+
+  T.reset();
+  EXPECT_FALSE(T.running());
+  EXPECT_DOUBLE_EQ(T.seconds(), 0.0);
+}
+
+TEST(Timer, AccumTimerDoubleStartIsANoOp) {
+  AccumTimer T;
+  T.start();
+  const double Before = T.seconds();
+  T.start(); // must not restart the running segment
+  EXPECT_GE(T.seconds(), Before);
+  T.pause();
+  EXPECT_GE(T.seconds(), Before);
 }
 
 TEST(Stats, ClopperPearsonKnownValues) {

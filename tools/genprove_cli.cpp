@@ -10,16 +10,23 @@
 //                [--p 0.02] [--k 100] [--threshold 250]
 //                [--budget-mb 240] [--deterministic] [--arcsine]
 //                [--splits N] [--schedule A|B]
+//                [--report] [--trace-out FILE.json] [--metrics-out FILE.json]
 //
 // Latent vector files contain whitespace-separated doubles. Networks are
 // the binary format written by saveNetwork() (see src/nn/serialize.h).
+//
+// Exit codes: 0 = analysis completed, 2 = usage/input error,
+// 3 = simulated-device out-of-memory.
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/core/genprove.h"
 #include "src/nn/serialize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/table.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,7 +48,19 @@ namespace {
       "halfspace:C:g0,g1,...\n"
       "                    [--p P] [--k K] [--threshold T] [--budget-mb M]\n"
       "                    [--deterministic] [--arcsine] [--splits N]\n"
-      "                    [--schedule A|B]\n");
+      "                    [--schedule A|B]\n"
+      "                    [--report] [--trace-out FILE.json]\n"
+      "                    [--metrics-out FILE.json]\n"
+      "\n"
+      "observability:\n"
+      "  --report            print a per-layer telemetry table (regions,\n"
+      "                      nodes, splits, boxed, charged bytes, seconds)\n"
+      "  --trace-out FILE    write a Chrome trace-event JSON file (open in\n"
+      "                      chrome://tracing or ui.perfetto.dev)\n"
+      "  --metrics-out FILE  write the metrics registry snapshot as JSON\n"
+      "\n"
+      "exit codes: 0 analysis completed, 2 usage or input error,\n"
+      "            3 simulated-device out of memory\n");
   std::exit(2);
 }
 
@@ -102,11 +121,44 @@ OutputSpec parseSpec(const std::string &Text) {
   usage("unknown spec kind (use argmax / sign / halfspace)");
 }
 
+/// The --report table: one row per layer, plus a sum/max footer matching
+/// the aggregate stats line.
+void printLayerReport(const std::vector<LayerRecord> &Layers) {
+  TablePrinter Table({"layer", "kind", "regions", "nodes", "splits", "boxed",
+                      "charged", "seconds"});
+  auto Flow = [](int64_t In, int64_t Out) {
+    return std::to_string(In) + "->" + std::to_string(Out);
+  };
+  int64_t SumSplits = 0, SumBoxed = 0, MaxRegions = 0, MaxNodes = 0;
+  size_t MaxCharged = 0;
+  double SumSeconds = 0.0;
+  for (const LayerRecord &Rec : Layers) {
+    Table.addRow({std::to_string(Rec.Index), Rec.Kind,
+                  Flow(Rec.RegionsIn, Rec.RegionsOut),
+                  Flow(Rec.NodesIn, Rec.NodesOut), std::to_string(Rec.Splits),
+                  std::to_string(Rec.Boxed), formatBytes(Rec.ChargedBytes),
+                  formatSeconds(Rec.Seconds)});
+    SumSplits += Rec.Splits;
+    SumBoxed += Rec.Boxed;
+    MaxRegions = std::max(MaxRegions, Rec.RegionsOut);
+    MaxNodes = std::max(MaxNodes, Rec.NodesOut);
+    MaxCharged = std::max(MaxCharged, Rec.ChargedBytes);
+    SumSeconds += Rec.Seconds;
+  }
+  Table.addRow({"sum/max", "-", std::to_string(MaxRegions),
+                std::to_string(MaxNodes), std::to_string(SumSplits),
+                std::to_string(SumBoxed), formatBytes(MaxCharged),
+                formatSeconds(SumSeconds)});
+  std::printf("per-layer telemetry:\n%s", Table.render().c_str());
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::vector<std::string> NetPaths;
   std::string StartPath, EndPath, ShapeText, SpecText;
+  std::string TraceOutPath, MetricsOutPath;
+  bool Report = false;
   GenProveConfig Config;
   Config.NodeThreshold = 250;
 
@@ -145,6 +197,12 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--schedule")
       Config.Schedule =
           Next() == "B" ? RefinementSchedule::B : RefinementSchedule::A;
+    else if (Arg == "--report")
+      Report = true;
+    else if (Arg == "--trace-out")
+      TraceOutPath = Next();
+    else if (Arg == "--metrics-out")
+      MetricsOutPath = Next();
     else
       usage(("unknown option: " + Arg).c_str());
   }
@@ -153,16 +211,25 @@ int main(int Argc, char **Argv) {
       ShapeText.empty() || SpecText.empty())
     usage("--net, --input-shape, --start, --end and --spec are required");
 
+  // Observability is opt-in: tracing and metrics both default off.
+  if (!TraceOutPath.empty())
+    setTraceEnabled(true);
+  if (!MetricsOutPath.empty() || Report)
+    setMetricsEnabled(true);
+
   // Load the pipeline.
   std::vector<Sequential> Networks;
-  for (const std::string &Path : NetPaths) {
-    auto Net = loadNetwork(Path);
-    if (!Net) {
-      std::fprintf(stderr, "genprove_cli: cannot load network %s\n",
-                   Path.c_str());
-      return 1;
+  {
+    GENPROVE_SPAN("load_networks");
+    for (const std::string &Path : NetPaths) {
+      auto Net = loadNetwork(Path);
+      if (!Net) {
+        std::fprintf(stderr, "genprove_cli: cannot load network %s\n",
+                     Path.c_str());
+        return 2;
+      }
+      Networks.push_back(std::move(*Net));
     }
-    Networks.push_back(std::move(*Net));
   }
   std::vector<const Layer *> Pipeline;
   for (const Sequential &Net : Networks)
@@ -179,13 +246,29 @@ int main(int Argc, char **Argv) {
                  static_cast<long long>(Start.numel()),
                  static_cast<long long>(End.numel()),
                  InputShape.toString().c_str());
-    return 1;
+    return 2;
   }
   const OutputSpec Spec = parseSpec(SpecText);
 
   const GenProve Analyzer(Config);
-  const AnalysisResult Result =
-      Analyzer.analyzeSegment(Pipeline, InputShape, Start, End, Spec);
+  AnalysisResult Result;
+  {
+    GENPROVE_SPAN("analyze");
+    Result = Analyzer.analyzeSegment(Pipeline, InputShape, Start, End, Spec);
+  }
+
+  // Emit the observability artifacts even on OOM — a failing run is
+  // exactly when the per-layer timeline matters.
+  if (Report && !Result.Layers.empty())
+    printLayerReport(Result.Layers);
+  if (!TraceOutPath.empty() &&
+      !TraceSession::global().writeChromeTrace(TraceOutPath))
+    std::fprintf(stderr, "genprove_cli: cannot write trace to %s\n",
+                 TraceOutPath.c_str());
+  if (!MetricsOutPath.empty() &&
+      !MetricsRegistry::global().writeJson(MetricsOutPath))
+    std::fprintf(stderr, "genprove_cli: cannot write metrics to %s\n",
+                 MetricsOutPath.c_str());
 
   if (Result.OutOfMemory) {
     std::printf("result: OUT OF MEMORY (budget %s; try --p, --schedule or "
@@ -200,6 +283,9 @@ int main(int Argc, char **Argv) {
                           : Result.Bounds.Upper <= 0.0 ? "NEVER HOLDS"
                                                        : "UNKNOWN";
     std::printf("verdict: %s\n", Verdict);
+  } else {
+    std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
+                Result.Bounds.Lower, Result.Bounds.Upper);
   }
   std::printf("stats:   %.2fs, %lld regions peak, %lld nodes peak, %s "
               "device memory, %lld retries\n",
