@@ -69,7 +69,8 @@ std::string BenchEnv::configFingerprint() const {
   Knobs << Config.PairsPerCell << '|' << Config.ZonoPairsPerCell << '|'
         << Config.SamplesPerPair << '|' << Config.SamplingAlpha << '|'
         << Config.RelaxPercent << '|' << Config.ClusterK << '|'
-        << Config.NodeThreshold << '|' << Config.MemoryBudgetBytes;
+        << Config.NodeThreshold << '|' << Config.MemoryBudgetBytes << '|'
+        << Config.Resilient << '|' << Config.DeadlineSeconds;
   const std::string Text = Knobs.str();
   uint64_t Hash = 1469598103934665603ull; // FNV-1a 64
   for (unsigned char C : Text) {
@@ -149,6 +150,9 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
   GpConfig.ClusterK = Config.ClusterK;
   GpConfig.NodeThreshold = Config.NodeThreshold;
   GpConfig.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+  GpConfig.Resilience.Enabled = Config.Resilient;
+  GpConfig.Resilience.DeadlineSeconds =
+      Config.Resilient ? Config.DeadlineSeconds : 0.0;
   switch (Which) {
   case Method::Baseline:
     GpConfig.Mode = AnalysisMode::Deterministic;
@@ -174,6 +178,7 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
   double SumWidth = 0.0, SumLower = 0.0, SumUpper = 0.0, SumSeconds = 0.0;
   int64_t NumBounds = 0, NumNonTrivial = 0, NumOom = 0;
   int64_t MaxRegions = 0, MaxNodes = 0, MaxRetries = 0;
+  int64_t NumDegraded = 0;
   size_t PeakBytes = 0;
   Rng SampleRng(0x5eed5eedu);
 
@@ -265,6 +270,14 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
       MaxRegions = std::max(MaxRegions, State.Stats.MaxRegions);
       MaxNodes = std::max(MaxNodes, State.Stats.MaxNodes);
       MaxRetries = std::max(MaxRetries, State.Retries);
+      if (State.Degraded)
+        ++NumDegraded;
+      Cell.MaxRung = std::max(
+          Cell.MaxRung, static_cast<int64_t>(State.Stats.Rung));
+      Cell.Rollbacks += State.Stats.Rollbacks;
+      Cell.FallbackBoxLayers += State.Stats.FallbackBoxLayers;
+      if (State.Stats.DeadlineHit)
+        ++Cell.DeadlineHits;
       for (const OutputSpec &Spec : Specs)
         AllBounds.push_back(Analyzer.boundsFor(State, Spec));
     }
@@ -292,6 +305,8 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
   if (!Pairs.empty()) {
     Cell.FractionOom =
         static_cast<double>(NumOom) / static_cast<double>(Pairs.size());
+    Cell.FractionDegraded =
+        static_cast<double>(NumDegraded) / static_cast<double>(Pairs.size());
     Cell.MeanSeconds = SumSeconds / static_cast<double>(Pairs.size());
   }
   Cell.NumBounds = NumBounds;
@@ -305,7 +320,8 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
 namespace {
 const char *GridHeader =
     "key,dataset,network,method,neurons,pairs,bounds,width,lower,upper,"
-    "nontrivial,oom,seconds,peakgb,maxregions,maxnodes,retries";
+    "nontrivial,oom,seconds,peakgb,maxregions,maxnodes,retries,"
+    "degraded,maxrung,rollbacks,fallbackbox,deadlinehits";
 const char *ConfigLinePrefix = "#config ";
 } // namespace
 
@@ -324,7 +340,10 @@ void BenchEnv::saveCache() {
         << ',' << Cell.MeanLower << ',' << Cell.MeanUpper << ','
         << Cell.FractionNonTrivial << ',' << Cell.FractionOom << ','
         << Cell.MeanSeconds << ',' << Cell.PeakGb << ',' << Cell.MaxRegions
-        << ',' << Cell.MaxNodes << ',' << Cell.Retries << '\n';
+        << ',' << Cell.MaxNodes << ',' << Cell.Retries << ','
+        << Cell.FractionDegraded << ',' << Cell.MaxRung << ','
+        << Cell.Rollbacks << ',' << Cell.FallbackBoxLayers << ','
+        << Cell.DeadlineHits << '\n';
   }
   Dirty = false;
 }
@@ -384,6 +403,11 @@ void BenchEnv::loadCache() {
     Cell.MaxRegions = std::stoll(Next());
     Cell.MaxNodes = std::stoll(Next());
     Cell.Retries = std::stoll(Next());
+    Cell.FractionDegraded = std::stod(Next());
+    Cell.MaxRung = std::stoll(Next());
+    Cell.Rollbacks = std::stoll(Next());
+    Cell.FallbackBoxLayers = std::stoll(Next());
+    Cell.DeadlineHits = std::stoll(Next());
     for (int M = 0; M < static_cast<int>(Method::NumMethods); ++M)
       if (MethodStr == methodName(static_cast<Method>(M)))
         Cell.Which = static_cast<Method>(M);
@@ -410,6 +434,8 @@ void BenchEnv::writeRunReport() {
   W.key("node_threshold").value(Config.NodeThreshold);
   W.key("memory_budget_bytes")
       .value(static_cast<int64_t>(Config.MemoryBudgetBytes));
+  W.key("resilient").value(Config.Resilient);
+  W.key("deadline_seconds").value(Config.DeadlineSeconds);
   W.endObject();
 
   W.key("cells");
@@ -434,6 +460,16 @@ void BenchEnv::writeRunReport() {
     W.key("max_regions").value(Cell.MaxRegions);
     W.key("max_nodes").value(Cell.MaxNodes);
     W.key("retries").value(Cell.Retries);
+    // Degradation events, so trajectory plots can separate exact /
+    // relaxed / degraded cells (see docs/ROBUSTNESS.md).
+    W.key("mode").value(std::string(Cell.modeName()));
+    W.key("fraction_degraded").value(Cell.FractionDegraded);
+    W.key("max_rung")
+        .value(std::string(degradeRungName(
+            static_cast<DegradeRung>(Cell.MaxRung))));
+    W.key("rollbacks").value(Cell.Rollbacks);
+    W.key("fallback_box_layers").value(Cell.FallbackBoxLayers);
+    W.key("deadline_hits").value(Cell.DeadlineHits);
     W.endObject();
   }
   W.endArray();

@@ -31,6 +31,7 @@ PropagatedState GenProve::propagateWithSchedule(
     PropConfig.Relax.NodeThreshold = Config.NodeThreshold;
     PropConfig.EnableRelax = P > 0.0;
     PropConfig.Cdf = makeCdf(Config.Distribution);
+    PropConfig.Resilience = Config.Resilience;
 
     PropagateStats Stats;
     std::vector<Region> Final = propagateRegions(
@@ -39,6 +40,7 @@ PropagatedState GenProve::propagateWithSchedule(
     State.Stats = Stats;
     State.PeakBytes = std::max(State.PeakBytes, Memory.peakBytes());
     State.OutOfMemory = Stats.OutOfMemory;
+    State.Degraded = Stats.Degraded;
     State.Retries = Attempt;
     State.UsedRelaxPercent = P;
     State.UsedClusterK = K;
@@ -103,6 +105,17 @@ GenProve::propagateSegment(const std::vector<const Layer *> &Layers,
         std::max(Merged.Stats.MaxNodes, Part.Stats.MaxNodes);
     Merged.Stats.NumSplits += Part.Stats.NumSplits;
     Merged.Stats.NumBoxed += Part.Stats.NumBoxed;
+    // Degradation of any part degrades (but does not fail) the merge.
+    Merged.Degraded |= Part.Degraded;
+    Merged.Stats.Degraded |= Part.Stats.Degraded;
+    Merged.Stats.DeadlineHit |= Part.Stats.DeadlineHit;
+    if (static_cast<uint8_t>(Part.Stats.Rung) >
+        static_cast<uint8_t>(Merged.Stats.Rung))
+      Merged.Stats.Rung = Part.Stats.Rung;
+    Merged.Stats.Rollbacks += Part.Stats.Rollbacks;
+    Merged.Stats.FallbackBoxLayers += Part.Stats.FallbackBoxLayers;
+    Merged.Stats.QuarantinedRegions += Part.Stats.QuarantinedRegions;
+    Merged.Stats.QuarantinedMass += Part.Stats.QuarantinedMass;
     // Merge the per-layer timelines: the parts run the same pipeline, so
     // add the flows, sum the times, and keep the per-layer charge maxima
     // (each part releases its state before the next starts).
@@ -180,12 +193,45 @@ PropagatedState GenProve::propagateRegionsFrom(
 ProbBounds GenProve::boundsFor(const PropagatedState &State,
                                const OutputSpec &Spec) const {
   if (State.OutOfMemory)
-    return {0.0, 1.0, true};
+    return {0.0, 1.0, true, State.Degraded};
   ProbBounds Bounds = computeProbBounds(State.Regions, Spec, State.Cdf);
+  // Quarantined (non-finite) regions could have landed anywhere, so their
+  // mass must be added to the upper bound; the lower bound, computed from
+  // the surviving mass only, is already sound.
+  if (State.Stats.QuarantinedMass > 0.0)
+    Bounds.Upper = std::min(1.0, Bounds.Upper + State.Stats.QuarantinedMass);
+  Bounds.Degraded = State.Degraded;
   if (Config.Mode == AnalysisMode::Deterministic)
     Bounds = Bounds.deterministic();
   return Bounds;
 }
+
+namespace {
+
+/// Project a propagated state (minus its regions) onto a result.
+AnalysisResult resultFromState(const PropagatedState &State,
+                               ProbBounds Bounds) {
+  AnalysisResult Result;
+  Result.Bounds = Bounds;
+  Result.PeakBytes = State.PeakBytes;
+  Result.Seconds = State.Seconds;
+  Result.OutOfMemory = State.OutOfMemory;
+  Result.MaxRegions = State.Stats.MaxRegions;
+  Result.MaxNodes = State.Stats.MaxNodes;
+  Result.Retries = State.Retries;
+  Result.UsedRelaxPercent = State.UsedRelaxPercent;
+  Result.UsedClusterK = State.UsedClusterK;
+  Result.Degraded = State.Degraded;
+  Result.Rung = State.Stats.Rung;
+  Result.Rollbacks = State.Stats.Rollbacks;
+  Result.FallbackBoxLayers = State.Stats.FallbackBoxLayers;
+  Result.DeadlineHit = State.Stats.DeadlineHit;
+  Result.QuarantinedMass = State.Stats.QuarantinedMass;
+  Result.Layers = State.Stats.Layers;
+  return Result;
+}
+
+} // namespace
 
 AnalysisResult
 GenProve::analyzeSegment(const std::vector<const Layer *> &Layers,
@@ -193,16 +239,7 @@ GenProve::analyzeSegment(const std::vector<const Layer *> &Layers,
                          const Tensor &End, const OutputSpec &Spec) const {
   const PropagatedState State =
       propagateSegment(Layers, InputShape, Start, End);
-  AnalysisResult Result;
-  Result.Bounds = boundsFor(State, Spec);
-  Result.PeakBytes = State.PeakBytes;
-  Result.Seconds = State.Seconds;
-  Result.OutOfMemory = State.OutOfMemory;
-  Result.MaxRegions = State.Stats.MaxRegions;
-  Result.MaxNodes = State.Stats.MaxNodes;
-  Result.Retries = State.Retries;
-  Result.Layers = State.Stats.Layers;
-  return Result;
+  return resultFromState(State, boundsFor(State, Spec));
 }
 
 AnalysisResult
@@ -212,16 +249,7 @@ GenProve::analyzeQuadratic(const std::vector<const Layer *> &Layers,
                            const OutputSpec &Spec) const {
   const PropagatedState State =
       propagateQuadratic(Layers, InputShape, A0, A1, A2);
-  AnalysisResult Result;
-  Result.Bounds = boundsFor(State, Spec);
-  Result.PeakBytes = State.PeakBytes;
-  Result.Seconds = State.Seconds;
-  Result.OutOfMemory = State.OutOfMemory;
-  Result.MaxRegions = State.Stats.MaxRegions;
-  Result.MaxNodes = State.Stats.MaxNodes;
-  Result.Retries = State.Retries;
-  Result.Layers = State.Stats.Layers;
-  return Result;
+  return resultFromState(State, boundsFor(State, Spec));
 }
 
 Tensor forwardConcretePoints(const std::vector<const Layer *> &Layers,

@@ -47,6 +47,12 @@ struct GenProveConfig {
   /// range into this many pieces that are verified sequentially and
   /// merged. Each piece gets the full memory budget to itself.
   int64_t InputSplits = 1;
+  /// Checkpointed degradation, deadlines and the interval fallback; when
+  /// Resilience.Enabled every propagation terminates with a sound
+  /// (possibly widened) state instead of OOM + empty regions, and the
+  /// Appendix C schedule above becomes a dead letter (coarsening happens
+  /// locally at the failing layer, not by restarting from layer 0).
+  ResilienceConfig Resilience;
 };
 
 /// The final abstract state plus telemetry; bounds for any number of
@@ -61,6 +67,10 @@ struct PropagatedState {
   double UsedRelaxPercent = 0.0;
   double UsedClusterK = 0.0;
   ParamCdf Cdf;
+
+  /// Sound-but-widened marker (any resilience rung, deadline or
+  /// quarantine); projection of Stats.Degraded kept stable across merges.
+  bool Degraded = false;
 };
 
 /// A single-spec analysis outcome. Layers is the per-layer telemetry
@@ -73,6 +83,15 @@ struct AnalysisResult {
   int64_t MaxRegions = 0;
   int64_t MaxNodes = 0;
   int64_t Retries = 0;
+  double UsedRelaxPercent = 0.0;
+  double UsedClusterK = 0.0;
+  // Resilience telemetry (see PropagateStats).
+  bool Degraded = false;
+  DegradeRung Rung = DegradeRung::None;
+  int64_t Rollbacks = 0;
+  int64_t FallbackBoxLayers = 0;
+  bool DeadlineHit = false;
+  double QuarantinedMass = 0.0;
   std::vector<LayerRecord> Layers;
 };
 

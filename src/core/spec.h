@@ -77,6 +77,10 @@ struct ProbBounds {
   double Lower = 0.0;
   double Upper = 1.0;
   bool OutOfMemory = false;
+  /// The interval is sound but was widened by the resilience layer
+  /// (checkpointed boxing, interval fallback, deadline expiry or
+  /// quarantined mass); see docs/ROBUSTNESS.md.
+  bool Degraded = false;
 
   double width() const { return Upper - Lower; }
 
@@ -84,12 +88,12 @@ struct ProbBounds {
   /// (what BASELINE and GenProve-Det report in Table 1).
   ProbBounds deterministic() const {
     if (OutOfMemory)
-      return {0.0, 1.0, true};
+      return {0.0, 1.0, true, Degraded};
     if (Lower >= 1.0)
-      return {1.0, 1.0, false};
+      return {1.0, 1.0, false, Degraded};
     if (Upper <= 0.0)
-      return {0.0, 0.0, false};
-    return {0.0, 1.0, false};
+      return {0.0, 0.0, false, Degraded};
+    return {0.0, 1.0, false, Degraded};
   }
 
   /// "Non-trivial" in the sense of Table 1: strictly tighter than [0, 1].

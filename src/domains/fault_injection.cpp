@@ -1,0 +1,58 @@
+//===- domains/fault_injection.cpp ----------------------------*- C++ -*-===//
+
+#include "src/domains/fault_injection.h"
+
+#include <cmath>
+#include <limits>
+
+namespace genprove {
+
+void FaultInjector::arm(DeviceMemoryModel &Memory) {
+  Memory.setInterceptor(
+      [this](size_t /*Bytes*/) { return shouldFailCharge(); });
+}
+
+void FaultInjector::beginLayer(int64_t Layer, bool FallbackCheap) {
+  // Retries of the same layer re-enter here; the clock only advances on
+  // the first visit so an injected-clock deadline run stays deterministic
+  // regardless of how many rollbacks the degradation ladder performs.
+  if (Layer > CurrentLayer && !FallbackCheap)
+    ClockSeconds += Plan.ClockSkewSecondsPerLayer;
+  CurrentLayer = Layer;
+}
+
+bool FaultInjector::shouldFailCharge() {
+  if (Plan.OomAtLayer < 0 || CurrentLayer != Plan.OomAtLayer)
+    return false;
+  if (OomsFired >= Plan.OomFireCount)
+    return false;
+  ++OomsFired;
+  return true;
+}
+
+void FaultInjector::poisonRegions(std::vector<Region> &Regions) const {
+  const double Nan = std::numeric_limits<double>::quiet_NaN();
+  for (Region &R : Regions) {
+    if (R.Kind == RegionKind::Curve) {
+      if (R.Coeffs.numel() > 0)
+        R.Coeffs[0] = Nan;
+    } else if (R.Center.numel() > 0) {
+      R.Center[0] = Nan;
+    }
+  }
+}
+
+bool regionIsFinite(const Region &R) {
+  if (R.Kind == RegionKind::Curve) {
+    for (int64_t I = 0; I < R.Coeffs.numel(); ++I)
+      if (!std::isfinite(R.Coeffs[I]))
+        return false;
+    return true;
+  }
+  for (int64_t I = 0; I < R.Center.numel(); ++I)
+    if (!std::isfinite(R.Center[I]) || !std::isfinite(R.Radius[I]))
+      return false;
+  return true;
+}
+
+} // namespace genprove

@@ -1,0 +1,112 @@
+//===- domains/fault_injection.h - Deterministic fault injection -*- C++ -*-===//
+///
+/// \file
+/// A deterministic fault-injection harness for the propagation engine, so
+/// every degradation path — checkpoint rollback, local boxing, the full
+/// interval fallback, deadline expiry, non-finite quarantine — is
+/// exercised by ctest instead of depending on a lucky memory budget.
+///
+/// Three fault families, all reproducible:
+///
+///  * forced OOM: the injector installs a charge interceptor on the
+///    DeviceMemoryModel that fails the first FaultPlan::OomFireCount
+///    charges issued while the engine is inside layer OomAtLayer;
+///  * non-finite poisoning: after layer NanAtLayer the injector overwrites
+///    one coefficient of every region with a NaN, standing in for corrupt
+///    weights or activations — the engine must detect and quarantine;
+///  * simulated clock skew: the injector exposes a manual clock that
+///    advances ClockSkewSecondsPerLayer at every (non-fallback) layer
+///    boundary, which makes deadline tests exact instead of timing-flaky.
+///
+/// The injector is plugged into a propagation through
+/// ResilienceConfig::Faults; production runs leave it null and pay only a
+/// pointer test per layer. docs/ROBUSTNESS.md shows how to drive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_DOMAINS_FAULT_INJECTION_H
+#define GENPROVE_DOMAINS_FAULT_INJECTION_H
+
+#include "src/domains/memory_model.h"
+#include "src/domains/region.h"
+
+#include <functional>
+#include <vector>
+
+namespace genprove {
+
+/// What to inject, and where. Defaults inject nothing.
+struct FaultPlan {
+  /// Layer index at which device charges are forced to fail (-1 = never).
+  int64_t OomAtLayer = -1;
+  /// How many charges to fail at OomAtLayer: 1 exercises one rollback +
+  /// local boxing; a large value exhausts the local retries and drives the
+  /// engine down to the full interval fallback.
+  int64_t OomFireCount = 1;
+  /// Layer index after which every region gets a NaN written into its
+  /// representation (-1 = never). Models corrupt weights or activations.
+  int64_t NanAtLayer = -1;
+  /// Seconds the injected clock advances at each layer boundary (layers
+  /// running under the interval fallback are treated as free, matching
+  /// their near-zero real cost).
+  double ClockSkewSecondsPerLayer = 0.0;
+  /// Initial reading of the injected clock.
+  double ClockStartSeconds = 0.0;
+};
+
+/// Deterministic fault injector; one instance drives one propagation.
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan Plan = {}) : Plan(Plan) {
+    ClockSeconds = Plan.ClockStartSeconds;
+  }
+
+  /// Install the forced-OOM interceptor on a memory model. The injector
+  /// must outlive the model's use.
+  void arm(DeviceMemoryModel &Memory);
+
+  /// Engine callback at each layer boundary. Advances the injected clock
+  /// (unless the layer runs under the cheap interval fallback) and records
+  /// the layer index consulted by the charge interceptor.
+  void beginLayer(int64_t Layer, bool FallbackCheap);
+
+  /// Consulted by the charge interceptor: force a failure?
+  bool shouldFailCharge();
+
+  /// Should regions be poisoned after this layer?
+  bool shouldPoison(int64_t Layer) const {
+    return Plan.NanAtLayer == Layer;
+  }
+
+  /// Overwrite one representation value of every region with NaN.
+  void poisonRegions(std::vector<Region> &Regions) const;
+
+  /// Current reading of the injected clock, in seconds.
+  double nowSeconds() const { return ClockSeconds; }
+
+  /// The injected clock as a ResilienceConfig::Clock function. Only
+  /// meaningful when ClockSkewSecondsPerLayer is set; otherwise the clock
+  /// never advances.
+  std::function<double()> clock() {
+    return [this] { return ClockSeconds; };
+  }
+
+  /// Charges failed so far (telemetry for tests).
+  int64_t injectedOoms() const { return OomsFired; }
+
+  const FaultPlan &plan() const { return Plan; }
+
+private:
+  FaultPlan Plan;
+  int64_t CurrentLayer = -1;
+  int64_t OomsFired = 0;
+  double ClockSeconds = 0.0;
+};
+
+/// True when every value of every region (curve coefficients, box centers
+/// and radii) is finite. The engine's quarantine check.
+bool regionIsFinite(const Region &R);
+
+} // namespace genprove
+
+#endif // GENPROVE_DOMAINS_FAULT_INJECTION_H

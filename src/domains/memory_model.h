@@ -10,6 +10,17 @@
 /// growth — the thing the paper's Tables 3 and 8 measure — is preserved
 /// exactly.
 ///
+/// Two kinds of callers use the model:
+///
+///  * legacy callers charge() and abort the analysis on failure — the
+///    failed charge is recorded in the peak, so the model stays exhausted;
+///  * resilient callers tryCharge() before committing a state: a charge
+///    that would not fit leaves the model untouched, so the caller can
+///    roll back to a checkpoint, coarsen, and try again.
+///
+/// A charge interceptor hook lets the fault-injection harness force
+/// deterministic OOM at a chosen layer without shrinking the budget.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENPROVE_DOMAINS_MEMORY_MODEL_H
@@ -17,12 +28,36 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 
 namespace genprove {
+
+/// Bytes of a device-resident state of Nodes points of Dim doubles each,
+/// saturating instead of wrapping. Negative inputs (corrupt bookkeeping)
+/// and products that overflow size_t both saturate to SIZE_MAX, which any
+/// finite budget rejects — a wrapped product could silently pass.
+inline size_t stateBytes(int64_t Nodes, int64_t Dim) {
+  constexpr size_t Saturated = std::numeric_limits<size_t>::max();
+  if (Nodes < 0 || Dim < 0)
+    return Saturated;
+  const uint64_t N = static_cast<uint64_t>(Nodes);
+  const uint64_t D = static_cast<uint64_t>(Dim);
+  if (N != 0 && D > Saturated / N)
+    return Saturated;
+  const uint64_t Points = N * D;
+  if (Points > Saturated / sizeof(double))
+    return Saturated;
+  return static_cast<size_t>(Points * sizeof(double));
+}
 
 /// Byte accounting with a budget; analyses poll ok() after each charge.
 class DeviceMemoryModel {
 public:
+  /// Forced-failure hook for fault injection: return true to make the next
+  /// charge fail regardless of the budget.
+  using ChargeInterceptor = std::function<bool(size_t Bytes)>;
+
   /// Budget of 0 means unlimited.
   explicit DeviceMemoryModel(size_t BudgetBytes = 0)
       : BudgetBytes(BudgetBytes) {}
@@ -31,13 +66,42 @@ public:
   /// exceeds the budget (the analysis should abort with OOM).
   bool charge(size_t Bytes) {
     PeakBytes = Bytes > PeakBytes ? Bytes : PeakBytes;
+    if (Interceptor && Interceptor(Bytes))
+      return false;
     return BudgetBytes == 0 || PeakBytes <= BudgetBytes;
   }
 
   /// Charge a state of Nodes representation points of Dim doubles each.
   bool chargeState(int64_t Nodes, int64_t Dim) {
-    return charge(static_cast<size_t>(Nodes) * static_cast<size_t>(Dim) *
-                  sizeof(double));
+    return charge(stateBytes(Nodes, Dim));
+  }
+
+  /// Charge only if the state fits: on success the peak is updated and the
+  /// call returns true; on failure the model is left untouched, so a
+  /// resilient caller can roll back and retry with a smaller state.
+  bool tryCharge(size_t Bytes) {
+    if (Interceptor && Interceptor(Bytes))
+      return false;
+    if (BudgetBytes != 0 && Bytes > BudgetBytes)
+      return false;
+    PeakBytes = Bytes > PeakBytes ? Bytes : PeakBytes;
+    return true;
+  }
+
+  bool tryChargeState(int64_t Nodes, int64_t Dim) {
+    return tryCharge(stateBytes(Nodes, Dim));
+  }
+
+  /// Would a state of this size fit? Pure query: no peak update, no
+  /// interceptor consultation (the interceptor models a transient device
+  /// fault, not a capacity limit).
+  bool wouldFit(int64_t Nodes, int64_t Dim) const {
+    return BudgetBytes == 0 || stateBytes(Nodes, Dim) <= BudgetBytes;
+  }
+
+  /// Install (or clear, with an empty function) the fault-injection hook.
+  void setInterceptor(ChargeInterceptor Hook) {
+    Interceptor = std::move(Hook);
   }
 
   size_t peakBytes() const { return PeakBytes; }
@@ -51,6 +115,7 @@ public:
 private:
   size_t BudgetBytes;
   size_t PeakBytes = 0;
+  ChargeInterceptor Interceptor;
 };
 
 } // namespace genprove

@@ -2,6 +2,7 @@
 
 #include "src/domains/propagate.h"
 
+#include "src/domains/fault_injection.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/timer.h"
@@ -25,6 +26,18 @@ const char *layerKindName(Layer::Kind K) {
     return "Flatten";
   case Layer::Kind::Reshape:
     return "Reshape";
+  }
+  return "?";
+}
+
+const char *degradeRungName(DegradeRung R) {
+  switch (R) {
+  case DegradeRung::None:
+    return "-";
+  case DegradeRung::LocalBox:
+    return "local";
+  case DegradeRung::FullBox:
+    return "box";
   }
   return "?";
 }
@@ -194,6 +207,23 @@ void reluCurve(const Region &Curve, const PropagateConfig &Config,
   Stats.NumSplits += static_cast<int64_t>(Cuts.size()) - 2;
 }
 
+/// Collapse the whole state to one interval box (the FullBox rung). The
+/// box covers every region and carries their total mass, so the lift is a
+/// sound widening; propagating it costs two nodes per layer.
+void liftToFullBox(std::vector<Region> &Regions) {
+  if (Regions.empty())
+    return;
+  Region Acc;
+  bool Have = false;
+  for (Region &R : Regions) {
+    Region B = R.Kind == RegionKind::Box ? std::move(R) : boundingBox(R);
+    Acc = Have ? mergeBoxes(Acc, B) : std::move(B);
+    Have = true;
+  }
+  Regions.clear();
+  Regions.push_back(std::move(Acc));
+}
+
 } // namespace
 
 std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
@@ -209,106 +239,303 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
   static Counter &BoxedCtr =
       MetricsRegistry::global().counter("propagate.boxed");
   static Counter &OomCtr = MetricsRegistry::global().counter("propagate.oom");
+  static Counter &DegradedCtr =
+      MetricsRegistry::global().counter("propagate.degraded");
+  static Counter &FallbackCtr =
+      MetricsRegistry::global().counter("propagate.fallback_box");
+  static Counter &RollbackCtr =
+      MetricsRegistry::global().counter("propagate.rollbacks");
+  static Counter &DeadlineCtr =
+      MetricsRegistry::global().counter("propagate.deadline_hits");
+  static Counter &QuarantineCtr =
+      MetricsRegistry::global().counter("propagate.quarantined");
   static Histogram &LayerSecondsHist =
       MetricsRegistry::global().histogram("propagate.layer_seconds");
+
+  const ResilienceConfig &Res = Config.Resilience;
+  const bool Resilient = Res.Enabled;
+  if (Res.Faults)
+    Res.Faults->arm(Memory);
 
   // Stats may arrive pre-populated (merged analyses); count only the
   // deltas produced by this call.
   const int64_t Splits0 = Stats.NumSplits;
   const int64_t Boxed0 = Stats.NumBoxed;
+  const int64_t Rollbacks0 = Stats.Rollbacks;
+  const int64_t Fallback0 = Stats.FallbackBoxLayers;
+  const int64_t Quarantined0 = Stats.QuarantinedRegions;
+  const bool DeadlineHit0 = Stats.DeadlineHit;
   const auto FlushCounters = [&] {
     SplitsCtr.add(Stats.NumSplits - Splits0);
     BoxedCtr.add(Stats.NumBoxed - Boxed0);
     OomCtr.add(Stats.OutOfMemory ? 1 : 0);
+    DegradedCtr.add(Stats.Degraded ? 1 : 0);
+    RollbackCtr.add(Stats.Rollbacks - Rollbacks0);
+    FallbackCtr.add(Stats.FallbackBoxLayers - Fallback0);
+    QuarantineCtr.add(Stats.QuarantinedRegions - Quarantined0);
+    DeadlineCtr.add(Stats.DeadlineHit && !DeadlineHit0 ? 1 : 0);
+  };
+
+  // Deadline clock: injected test clock if provided, wall clock otherwise.
+  Timer WallClock;
+  const double ClockStart = Res.Clock ? Res.Clock() : 0.0;
+  const auto Elapsed = [&] {
+    return Res.Clock ? Res.Clock() - ClockStart : WallClock.seconds();
+  };
+  const auto DeadlineExpired = [&] {
+    return Resilient && Res.DeadlineSeconds > 0.0 &&
+           Elapsed() >= Res.DeadlineSeconds;
+  };
+
+  // The highest rung reached so far; FullBox is sticky for the rest of
+  // the pipeline.
+  DegradeRung RunRung = DegradeRung::None;
+  const auto Degrade = [&](DegradeRung To) {
+    if (static_cast<uint8_t>(To) > static_cast<uint8_t>(RunRung))
+      RunRung = To;
+    if (static_cast<uint8_t>(To) > static_cast<uint8_t>(Stats.Rung))
+      Stats.Rung = To;
+    Stats.Degraded = true;
+  };
+
+  // Drop non-finite regions, accounting their mass so bound computations
+  // can widen soundly. Only active in resilient mode.
+  const auto Quarantine = [&](std::vector<Region> &Rs) {
+    if (!Resilient || !Res.DetectNonFinite)
+      return;
+    size_t Kept = 0;
+    for (size_t I = 0; I < Rs.size(); ++I) {
+      if (regionIsFinite(Rs[I])) {
+        if (Kept != I)
+          Rs[Kept] = std::move(Rs[I]);
+        ++Kept;
+      } else {
+        // A non-finite weight means the mass itself is unknown: assume the
+        // worst (the entire unit of probability) to stay sound.
+        Stats.QuarantinedMass += std::isfinite(Rs[I].Weight)
+                                     ? std::max(Rs[I].Weight, 0.0)
+                                     : 1.0;
+        ++Stats.QuarantinedRegions;
+        Stats.Degraded = true;
+      }
+    }
+    Rs.resize(Kept);
   };
 
   Shape CurShape = InputShape;
-  if (!Memory.chargeState(totalNodes(Regions),
-                          Regions.empty() ? 0 : Regions.front().dim())) {
-    Stats.OutOfMemory = true;
-    FlushCounters();
-    return {};
+  Quarantine(Regions);
+  {
+    const int64_t Nodes = totalNodes(Regions);
+    const int64_t Dim = Regions.empty() ? 0 : Regions.front().dim();
+    if (!Resilient) {
+      if (!Memory.chargeState(Nodes, Dim)) {
+        Stats.OutOfMemory = true;
+        FlushCounters();
+        return {};
+      }
+    } else if (!Memory.tryChargeState(Nodes, Dim)) {
+      // Even the input does not fit: coarsen it in place before layer 0.
+      const int64_t FitNodes =
+          Dim > 0 && Memory.budgetBytes() > 0
+              ? static_cast<int64_t>(Memory.budgetBytes() /
+                                     (static_cast<size_t>(Dim) *
+                                      sizeof(double)))
+              : Nodes / 2;
+      boxLowestMassRegions(Regions, std::max<int64_t>(FitNodes, 2));
+      Degrade(DegradeRung::LocalBox);
+      if (!Memory.tryChargeState(totalNodes(Regions), Dim)) {
+        liftToFullBox(Regions);
+        Degrade(DegradeRung::FullBox);
+        // The FullBox rung is exempt from the device budget: it models
+        // spilling to host interval arithmetic, which always fits.
+        (void)Memory.tryChargeState(totalNodes(Regions), Dim);
+      }
+    }
   }
 
   for (size_t Li = 0; Li < Layers.size(); ++Li) {
     const Layer *L = Layers[Li];
-    LayerRecord Rec;
-    Rec.Index = static_cast<int64_t>(Li);
-    Rec.Kind = layerKindName(L->kind());
-    Rec.RegionsIn = static_cast<int64_t>(Regions.size());
-    Rec.NodesIn = totalNodes(Regions);
-    const int64_t LayerSplits0 = Stats.NumSplits;
-    Timer LayerClock;
-    GENPROVE_SPAN(Rec.Kind);
-
-    // Relaxation fires right before convolutional layers (Section 3.1).
-    const bool IsConvolutional = L->kind() == Layer::Kind::Conv2d ||
-                                 L->kind() == Layer::Kind::ConvTranspose2d;
-    if (Config.EnableRelax && IsConvolutional) {
-      GENPROVE_SPAN("relax");
-      const int64_t Before = static_cast<int64_t>(Regions.size());
-      relaxRegions(Regions, Config.Relax);
-      Rec.Boxed = Before - static_cast<int64_t>(Regions.size());
-      Stats.NumBoxed += Rec.Boxed;
+    bool FullBoxActive = RunRung == DegradeRung::FullBox;
+    if (Res.Faults)
+      Res.Faults->beginLayer(static_cast<int64_t>(Li), FullBoxActive);
+    if (!FullBoxActive && DeadlineExpired()) {
+      // Out of time: lift the remaining pipeline to interval propagation.
+      Quarantine(Regions);
+      liftToFullBox(Regions);
+      Degrade(DegradeRung::FullBox);
+      Stats.DeadlineHit = true;
+      FullBoxActive = true;
     }
+    if (FullBoxActive)
+      ++Stats.FallbackBoxLayers;
 
-    if (L->isAffine()) {
-      applyAffineLayer(*L, CurShape, Regions);
-      CurShape = L->outputShape(CurShape);
-    } else {
-      std::vector<Region> Next;
-      Next.reserve(Regions.size());
-      int64_t RunningNodes = 0;
-      for (auto &R : Regions) {
-        const size_t Before = Next.size();
-        if (R.Kind == RegionKind::Box) {
-          reluBox(R);
-          RunningNodes += 2;
-          Next.push_back(std::move(R));
-        } else {
-          const int64_t NodesPerPiece = R.degree() + 1;
-          reluCurve(R, Config, Next, Stats);
-          RunningNodes +=
-              static_cast<int64_t>(Next.size() - Before) * NodesPerPiece;
+    // Checkpoint the state entering this layer; an OOM rolls back to here
+    // and coarsens instead of restarting from layer 0. Host-side only —
+    // the simulated device never holds it (a real deployment would spill
+    // the checkpoint to host RAM).
+    std::vector<Region> Checkpoint;
+    if (Resilient && !FullBoxActive)
+      Checkpoint = Regions;
+
+    int64_t LayerRollbacks = 0;
+    DegradeRung LayerRung =
+        FullBoxActive ? DegradeRung::FullBox : DegradeRung::None;
+
+    for (;;) { // Retries this layer only; predecessors are never re-run.
+      LayerRecord Rec;
+      Rec.Index = static_cast<int64_t>(Li);
+      Rec.Kind = layerKindName(L->kind());
+      Rec.RegionsIn = static_cast<int64_t>(Regions.size());
+      Rec.NodesIn = totalNodes(Regions);
+      const int64_t LayerSplits0 = Stats.NumSplits;
+      Timer LayerClock;
+      GENPROVE_SPAN(Rec.Kind);
+
+      // Relaxation fires right before convolutional layers (Section 3.1).
+      const bool IsConvolutional = L->kind() == Layer::Kind::Conv2d ||
+                                   L->kind() == Layer::Kind::ConvTranspose2d;
+      if (Config.EnableRelax && IsConvolutional) {
+        GENPROVE_SPAN("relax");
+        const int64_t Before = static_cast<int64_t>(Regions.size());
+        relaxRegions(Regions, Config.Relax);
+        Rec.Boxed = Before - static_cast<int64_t>(Regions.size());
+        Stats.NumBoxed += Rec.Boxed;
+      }
+
+      Shape NextShape = CurShape;
+      bool ChargeFailed = false;
+      if (L->isAffine()) {
+        applyAffineLayer(*L, CurShape, Regions);
+        NextShape = L->outputShape(CurShape);
+      } else {
+        std::vector<Region> Next;
+        Next.reserve(Regions.size());
+        int64_t RunningNodes = 0;
+        for (auto &R : Regions) {
+          const size_t Before = Next.size();
+          if (R.Kind == RegionKind::Box) {
+            reluBox(R);
+            RunningNodes += 2;
+            Next.push_back(std::move(R));
+          } else {
+            const int64_t NodesPerPiece = R.degree() + 1;
+            reluCurve(R, Config, Next, Stats);
+            RunningNodes +=
+                static_cast<int64_t>(Next.size() - Before) * NodesPerPiece;
+          }
+          // Charge incrementally: ReLU splitting can blow the state up
+          // mid-layer, and waiting until the layer finishes would let the
+          // host allocation far exceed the simulated device budget.
+          const bool Ok =
+              Resilient ? Memory.tryChargeState(RunningNodes,
+                                                CurShape.numel()) ||
+                              FullBoxActive
+                        : Memory.chargeState(RunningNodes, CurShape.numel());
+          if (!Ok) {
+            if (!Resilient) {
+              Stats.OutOfMemory = true;
+              Stats.OomLayer = static_cast<int64_t>(Li);
+              Rec.RegionsOut = static_cast<int64_t>(Next.size());
+              Rec.NodesOut = RunningNodes;
+              Rec.Splits = Stats.NumSplits - LayerSplits0;
+              Rec.ChargedBytes =
+                  stateBytes(RunningNodes, CurShape.numel());
+              Rec.Seconds = LayerClock.seconds();
+              Stats.Layers.push_back(Rec);
+              FlushCounters();
+              return {};
+            }
+            ChargeFailed = true;
+            break;
+          }
         }
-        // Charge incrementally: ReLU splitting can blow the state up
-        // mid-layer, and waiting until the layer finishes would let the
-        // host allocation far exceed the simulated device budget.
-        if (!Memory.chargeState(RunningNodes, CurShape.numel())) {
+        if (!ChargeFailed)
+          Regions = std::move(Next);
+      }
+
+      int64_t Nodes = 0;
+      if (!ChargeFailed) {
+        Nodes = totalNodes(Regions);
+        const bool Ok =
+            Resilient
+                ? Memory.tryChargeState(Nodes, NextShape.numel()) ||
+                      FullBoxActive
+                : true; // legacy path charges after recording, below
+        if (!Ok)
+          ChargeFailed = true;
+      }
+
+      if (!ChargeFailed) {
+        // Layer committed. Inject / detect non-finite values on the
+        // committed state, then record the timeline row.
+        if (Res.Faults &&
+            Res.Faults->shouldPoison(static_cast<int64_t>(Li)))
+          Res.Faults->poisonRegions(Regions);
+        Quarantine(Regions);
+        CurShape = NextShape;
+        Nodes = totalNodes(Regions);
+        Stats.MaxRegions =
+            std::max(Stats.MaxRegions, static_cast<int64_t>(Regions.size()));
+        Stats.MaxNodes = std::max(Stats.MaxNodes, Nodes);
+        Rec.RegionsOut = static_cast<int64_t>(Regions.size());
+        Rec.NodesOut = Nodes;
+        Rec.Splits = Stats.NumSplits - LayerSplits0;
+        Rec.ChargedBytes = stateBytes(Nodes, CurShape.numel());
+        Rec.Seconds = LayerClock.seconds();
+        Rec.Rung = LayerRung;
+        Rec.Rollbacks = LayerRollbacks;
+        LayerSecondsHist.record(Rec.Seconds);
+        Stats.Layers.push_back(Rec);
+        if (!Resilient &&
+            !Memory.chargeState(Nodes, CurShape.numel())) {
           Stats.OutOfMemory = true;
           Stats.OomLayer = static_cast<int64_t>(Li);
-          Rec.RegionsOut = static_cast<int64_t>(Next.size());
-          Rec.NodesOut = RunningNodes;
-          Rec.Splits = Stats.NumSplits - LayerSplits0;
-          Rec.ChargedBytes = static_cast<size_t>(RunningNodes) *
-                             static_cast<size_t>(CurShape.numel()) *
-                             sizeof(double);
-          Rec.Seconds = LayerClock.seconds();
-          Stats.Layers.push_back(Rec);
           FlushCounters();
           return {};
         }
+        break;
       }
-      Regions = std::move(Next);
-    }
 
-    Stats.MaxRegions =
-        std::max(Stats.MaxRegions, static_cast<int64_t>(Regions.size()));
-    const int64_t Nodes = totalNodes(Regions);
-    Stats.MaxNodes = std::max(Stats.MaxNodes, Nodes);
-    Rec.RegionsOut = static_cast<int64_t>(Regions.size());
-    Rec.NodesOut = Nodes;
-    Rec.Splits = Stats.NumSplits - LayerSplits0;
-    Rec.ChargedBytes = static_cast<size_t>(Nodes) *
-                       static_cast<size_t>(CurShape.numel()) * sizeof(double);
-    Rec.Seconds = LayerClock.seconds();
-    LayerSecondsHist.record(Rec.Seconds);
-    Stats.Layers.push_back(Rec);
-    if (!Memory.chargeState(Nodes, CurShape.numel())) {
-      Stats.OutOfMemory = true;
-      Stats.OomLayer = static_cast<int64_t>(Li);
-      FlushCounters();
-      return {};
+      // --- Degradation ladder (resilient mode only from here) ---
+      // Roll back to the checkpoint: only this layer is re-executed.
+      ++Stats.Rollbacks;
+      ++LayerRollbacks;
+      Regions = Checkpoint;
+      const bool LocalExhausted = LayerRollbacks > Res.MaxLayerRetries;
+      bool Lifted = false;
+      if (!LocalExhausted) {
+        // Local coarsening, Appendix C style: each retry halves the node
+        // target, starting from what the budget can actually hold.
+        const int64_t Cur = totalNodes(Regions);
+        const int64_t Dim =
+            std::max(CurShape.numel(), NextShape.numel());
+        int64_t FitNodes = Cur;
+        if (Dim > 0 && Memory.budgetBytes() > 0)
+          FitNodes = static_cast<int64_t>(
+              Memory.budgetBytes() /
+              (static_cast<size_t>(Dim) * sizeof(double)));
+        int64_t Target = std::min(Cur, FitNodes);
+        for (int64_t Halve = 0; Halve < LayerRollbacks; ++Halve)
+          Target /= 2;
+        if (Target < 4 || !boxLowestMassRegions(Regions, Target))
+          Lifted = true; // nothing left to box locally
+        else
+          LayerRung = DegradeRung::LocalBox;
+      } else {
+        Lifted = true;
+      }
+      if (Lifted) {
+        // Last rung: the rest of the pipeline runs on one interval box,
+        // exempt from the device budget (host interval arithmetic).
+        Quarantine(Regions);
+        liftToFullBox(Regions);
+        LayerRung = DegradeRung::FullBox;
+        FullBoxActive = true;
+        ++Stats.FallbackBoxLayers;
+        Degrade(DegradeRung::FullBox);
+      } else {
+        Degrade(DegradeRung::LocalBox);
+      }
     }
   }
   FlushCounters();

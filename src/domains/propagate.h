@@ -21,6 +21,16 @@
 /// probabilistic splitting exact; boxes freeze the mass of whatever they
 /// replaced.
 ///
+/// With ResilienceConfig::Enabled the engine never aborts: the abstract
+/// state is checkpointed at every layer boundary, an OOM (real or
+/// fault-injected) rolls back to the checkpoint and boxes the lowest-mass
+/// pieces until the charge fits (the Appendix C p/k escalation applied
+/// *locally*), a wall-clock deadline lifts the remaining pipeline to
+/// interval/box propagation, and non-finite regions are quarantined with
+/// their mass tracked — so every propagation ends in a sound, possibly
+/// widened state flagged Degraded. docs/ROBUSTNESS.md gives the ladder and
+/// the soundness argument for each rung.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENPROVE_DOMAINS_PROPAGATE_H
@@ -35,8 +45,45 @@
 
 namespace genprove {
 
+class FaultInjector;
+
 /// Cumulative distribution function of the input parameter on [0, 1].
 using ParamCdf = std::function<double(double)>;
+
+/// How far down the degradation ladder a propagation had to go. Ordered:
+/// higher rungs are coarser (and therefore always cheaper but wider).
+enum class DegradeRung : uint8_t {
+  None = 0,     ///< exact / configured relaxation only
+  LocalBox = 1, ///< checkpoint rollback + lowest-mass boxing at one layer
+  FullBox = 2,  ///< remaining pipeline lifted to a single interval box
+};
+
+/// Display name of a rung ("-", "local", "box").
+const char *degradeRungName(DegradeRung R);
+
+/// The resilience layer around the engine: checkpointed in-place
+/// degradation, deadlines and the interval fallback. Disabled by default,
+/// in which case the engine keeps the paper's abort-on-OOM behaviour.
+struct ResilienceConfig {
+  bool Enabled = false;
+  /// Wall-clock budget for one propagation, in seconds; 0 = none. When it
+  /// expires (checked at layer boundaries) the remaining pipeline runs at
+  /// the FullBox rung, so the run finishes within the deadline plus one
+  /// layer's slack.
+  double DeadlineSeconds = 0.0;
+  /// Clock used for deadline checks; empty = steady wall clock. Tests
+  /// install FaultInjector::clock() for deterministic skew.
+  std::function<double()> Clock;
+  /// Checkpoint rollbacks allowed per layer before the engine gives up on
+  /// local boxing and lifts the state to the FullBox rung.
+  int64_t MaxLayerRetries = 6;
+  /// Quarantine regions containing NaN/Inf instead of propagating them;
+  /// their mass widens the final bounds (see PropagateStats).
+  bool DetectNonFinite = true;
+  /// Deterministic fault injection (tests and the CI smoke job); null in
+  /// production.
+  FaultInjector *Faults = nullptr;
+};
 
 /// Engine configuration.
 struct PropagateConfig {
@@ -44,6 +91,7 @@ struct PropagateConfig {
   bool EnableRelax = true;
   ParamCdf Cdf;             ///< empty = uniform (identity CDF).
   double SplitEps = 1e-9;   ///< minimum gap between split points.
+  ResilienceConfig Resilience;
 };
 
 /// Display name of a layer kind for telemetry ("Linear", "ReLU", ...).
@@ -66,6 +114,11 @@ struct LayerRecord {
   int64_t Boxed = 0;  ///< regions boxed by relaxation before this layer
   size_t ChargedBytes = 0;
   double Seconds = 0.0;
+  /// Degradation rung the layer finally executed at; None for clean runs.
+  DegradeRung Rung = DegradeRung::None;
+  /// Checkpoint rollbacks spent on this layer (each rollback re-executes
+  /// only this layer, never its predecessors).
+  int64_t Rollbacks = 0;
 };
 
 /// Engine telemetry for the scalability tables. The aggregate fields are
@@ -80,12 +133,28 @@ struct PropagateStats {
   /// Index of the layer whose charge blew the budget; -1 when no OOM or
   /// when already the initial input state did not fit.
   int64_t OomLayer = -1;
+  // --- Resilience telemetry (all zero/false on non-degraded runs) ---
+  /// The result is sound but wider than the configured analysis would have
+  /// produced: some rung above None fired, a deadline expired, or regions
+  /// were quarantined.
+  bool Degraded = false;
+  DegradeRung Rung = DegradeRung::None; ///< highest rung reached
+  int64_t Rollbacks = 0;          ///< checkpoint rollbacks performed
+  int64_t FallbackBoxLayers = 0;  ///< layers executed at the FullBox rung
+  bool DeadlineHit = false;
+  int64_t QuarantinedRegions = 0; ///< non-finite regions dropped
+  /// Probability mass of quarantined regions. Sound bound computations
+  /// must widen the upper bound by this mass (the quarantined image could
+  /// lie anywhere).
+  double QuarantinedMass = 0.0;
   std::vector<LayerRecord> Layers;
 };
 
 /// Push \p Regions through \p Layers. \p InputShape is the single-sample
 /// activation shape of the first layer (e.g. {1, Latent}). On OOM the
-/// result is empty and Stats.OutOfMemory is set.
+/// result is empty and Stats.OutOfMemory is set — unless
+/// Config.Resilience.Enabled, in which case the engine degrades in place
+/// and always returns a sound (possibly boxed) state.
 std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
                                      const Shape &InputShape,
                                      std::vector<Region> Regions,

@@ -15,6 +15,70 @@ int64_t totalNodes(const std::vector<Region> &Regions) {
   return Nodes;
 }
 
+bool boxLowestMassRegions(std::vector<Region> &Regions, int64_t TargetNodes) {
+  int64_t Nodes = totalNodes(Regions);
+  if (Nodes <= TargetNodes || Regions.empty())
+    return false;
+
+  // Curve indices from lightest to heaviest: the cheap pieces lose their
+  // exactness first, which costs the least bound mass (a boxed piece can
+  // widen the probability interval by at most its weight).
+  std::vector<size_t> ByMass;
+  for (size_t I = 0; I < Regions.size(); ++I)
+    if (Regions[I].Kind == RegionKind::Curve)
+      ByMass.push_back(I);
+  std::sort(ByMass.begin(), ByMass.end(), [&](size_t A, size_t B) {
+    return Regions[A].Weight < Regions[B].Weight;
+  });
+
+  Region Acc;
+  bool HaveAcc = false;
+  std::vector<bool> Removed(Regions.size(), false);
+  for (size_t Idx : ByMass) {
+    if (Nodes <= TargetNodes)
+      break;
+    const Region Box = boundingBox(Regions[Idx]);
+    Nodes -= Regions[Idx].nodes();
+    if (HaveAcc) {
+      Acc = mergeBoxes(Acc, Box);
+    } else {
+      Acc = Box;
+      HaveAcc = true;
+      Nodes += Acc.nodes();
+    }
+    Removed[Idx] = true;
+  }
+  // Still over target with every curve boxed: fold pre-existing boxes into
+  // the accumulator too. This is the path that ends in one interval box.
+  if (Nodes > TargetNodes) {
+    for (size_t I = 0; I < Regions.size(); ++I) {
+      if (Removed[I] || Regions[I].Kind != RegionKind::Box)
+        continue;
+      if (Nodes <= TargetNodes)
+        break;
+      if (HaveAcc) {
+        Acc = mergeBoxes(Acc, Regions[I]);
+        Nodes -= Regions[I].nodes();
+      } else {
+        Acc = Regions[I];
+        HaveAcc = true;
+      }
+      Removed[I] = true;
+    }
+  }
+  if (!HaveAcc)
+    return false;
+
+  std::vector<Region> Out;
+  Out.reserve(Regions.size());
+  for (size_t I = 0; I < Regions.size(); ++I)
+    if (!Removed[I])
+      Out.push_back(std::move(Regions[I]));
+  Out.push_back(std::move(Acc));
+  Regions = std::move(Out);
+  return true;
+}
+
 void relaxRegions(std::vector<Region> &Regions, const RelaxConfig &Config) {
   // Separate the chain of curve pieces (kept in parameter order) from the
   // already-relaxed boxes.

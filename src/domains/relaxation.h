@@ -39,6 +39,15 @@ void relaxRegions(std::vector<Region> &Regions, const RelaxConfig &Config);
 /// Total node count of a region list (the memory model's unit).
 int64_t totalNodes(const std::vector<Region> &Regions);
 
+/// Emergency coarsening for the resilience layer: replace the lowest-mass
+/// curve pieces with bounding boxes, merging all boxes created by one call
+/// into a single box, until the total node count is at most TargetNodes.
+/// If boxing every curve is not enough, pre-existing boxes are merged in
+/// as well (the state then collapses toward one interval box). Section 4.1
+/// weights are preserved exactly: a box carries the total mass of what it
+/// replaced. Returns true when the state changed.
+bool boxLowestMassRegions(std::vector<Region> &Regions, int64_t TargetNodes);
+
 } // namespace genprove
 
 #endif // GENPROVE_DOMAINS_RELAXATION_H

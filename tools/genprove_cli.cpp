@@ -10,24 +10,36 @@
 //                [--p 0.02] [--k 100] [--threshold 250]
 //                [--budget-mb 240] [--deterministic] [--arcsine]
 //                [--splits N] [--schedule A|B]
+//                [--resilient] [--deadline-ms D]
 //                [--report] [--trace-out FILE.json] [--metrics-out FILE.json]
 //
-// Latent vector files contain whitespace-separated doubles. Networks are
-// the binary format written by saveNetwork() (see src/nn/serialize.h).
+// Latent vector files contain whitespace-separated doubles; non-finite
+// entries (and non-finite network weights) are rejected up front. Networks
+// are the binary format written by saveNetwork() (see src/nn/serialize.h).
 //
 // Exit codes: 0 = analysis completed, 2 = usage/input error,
-// 3 = simulated-device out-of-memory.
+// 3 = simulated-device out-of-memory, 4 = sound but degraded (resilience
+// ladder fired; the reported interval is valid but widened). README.md
+// documents the contract.
+//
+// Fault-injection flags (--inject-oom-layer, --inject-oom-count,
+// --inject-nan-layer, --clock-skew-ms) drive the deterministic harness of
+// src/domains/fault_injection.h; they exist for the CI smoke job and for
+// reproducing degradation paths by hand (docs/ROBUSTNESS.md).
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/core/genprove.h"
+#include "src/domains/fault_injection.h"
 #include "src/nn/serialize.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -49,18 +61,36 @@ namespace {
       "                    [--p P] [--k K] [--threshold T] [--budget-mb M]\n"
       "                    [--deterministic] [--arcsine] [--splits N]\n"
       "                    [--schedule A|B]\n"
+      "                    [--resilient] [--deadline-ms D]\n"
       "                    [--report] [--trace-out FILE.json]\n"
       "                    [--metrics-out FILE.json]\n"
       "\n"
+      "resilience:\n"
+      "  --resilient         never fail: on OOM roll back to the last layer\n"
+      "                      checkpoint and coarsen in place; exhausted\n"
+      "                      retries fall back to interval propagation\n"
+      "  --deadline-ms D     wall-clock deadline; on expiry the remaining\n"
+      "                      layers run as a single interval box (implies\n"
+      "                      --resilient)\n"
+      "\n"
+      "fault injection (deterministic; for tests and CI):\n"
+      "  --inject-oom-layer L   force device charges to fail at layer L\n"
+      "  --inject-oom-count N   how many charges fail there (default 1)\n"
+      "  --inject-nan-layer L   poison the state with NaN after layer L\n"
+      "  --clock-skew-ms M      advance an injected clock M ms per layer\n"
+      "                         (deadline tests run off this clock)\n"
+      "\n"
       "observability:\n"
       "  --report            print a per-layer telemetry table (regions,\n"
-      "                      nodes, splits, boxed, charged bytes, seconds)\n"
+      "                      nodes, splits, boxed, charged bytes, seconds,\n"
+      "                      degradation rung/rollbacks)\n"
       "  --trace-out FILE    write a Chrome trace-event JSON file (open in\n"
       "                      chrome://tracing or ui.perfetto.dev)\n"
       "  --metrics-out FILE  write the metrics registry snapshot as JSON\n"
       "\n"
       "exit codes: 0 analysis completed, 2 usage or input error,\n"
-      "            3 simulated-device out of memory\n");
+      "            3 simulated-device out of memory,\n"
+      "            4 sound but degraded (interval is valid but widened)\n");
   std::exit(2);
 }
 
@@ -69,13 +99,38 @@ Tensor readVector(const std::string &Path) {
   if (!In)
     usage(("cannot open vector file: " + Path).c_str());
   std::vector<double> Values;
-  double V = 0.0;
-  while (In >> V)
+  std::string Token;
+  // Tokens go through strtod (not operator>>) so the "nan"/"inf"
+  // spellings are recognized and rejected instead of silently truncating
+  // the vector at the first such entry.
+  while (In >> Token) {
+    char *TokenEnd = nullptr;
+    const double V = std::strtod(Token.c_str(), &TokenEnd);
+    if (TokenEnd == Token.c_str() || *TokenEnd != '\0')
+      usage(("cannot parse '" + Token + "' in vector file " + Path).c_str());
+    if (!std::isfinite(V))
+      usage(("non-finite latent endpoint in " + Path +
+             " (entry " + std::to_string(Values.size()) +
+             "); refusing to certify garbage")
+                .c_str());
     Values.push_back(V);
+  }
   if (Values.empty())
     usage(("empty vector file: " + Path).c_str());
   const int64_t N = static_cast<int64_t>(Values.size());
   return Tensor({1, N}, std::move(Values));
+}
+
+/// Name of the first non-finite parameter tensor, or empty when clean.
+std::string findNonFiniteParam(Sequential &Net) {
+  for (const Param &P : Net.params()) {
+    if (!P.Value)
+      continue;
+    for (int64_t J = 0; J < P.Value->numel(); ++J)
+      if (!std::isfinite((*P.Value)[J]))
+        return P.Name;
+  }
+  return {};
 }
 
 Shape parseShape(const std::string &Text) {
@@ -125,11 +180,22 @@ OutputSpec parseSpec(const std::string &Text) {
 /// the aggregate stats line.
 void printLayerReport(const std::vector<LayerRecord> &Layers) {
   TablePrinter Table({"layer", "kind", "regions", "nodes", "splits", "boxed",
-                      "charged", "seconds"});
+                      "charged", "seconds", "resil"});
   auto Flow = [](int64_t In, int64_t Out) {
     return std::to_string(In) + "->" + std::to_string(Out);
   };
+  // The resil column: degradation rung the layer ran at, plus the number
+  // of checkpoint rollbacks it took to get the layer through.
+  auto Resil = [](const LayerRecord &Rec) -> std::string {
+    if (Rec.Rung == DegradeRung::None && Rec.Rollbacks == 0)
+      return "-";
+    std::string Text = degradeRungName(Rec.Rung);
+    if (Rec.Rollbacks > 0)
+      Text.append("(").append(std::to_string(Rec.Rollbacks)).append(")");
+    return Text;
+  };
   int64_t SumSplits = 0, SumBoxed = 0, MaxRegions = 0, MaxNodes = 0;
+  int64_t SumRollbacks = 0;
   size_t MaxCharged = 0;
   double SumSeconds = 0.0;
   for (const LayerRecord &Rec : Layers) {
@@ -137,9 +203,10 @@ void printLayerReport(const std::vector<LayerRecord> &Layers) {
                   Flow(Rec.RegionsIn, Rec.RegionsOut),
                   Flow(Rec.NodesIn, Rec.NodesOut), std::to_string(Rec.Splits),
                   std::to_string(Rec.Boxed), formatBytes(Rec.ChargedBytes),
-                  formatSeconds(Rec.Seconds)});
+                  formatSeconds(Rec.Seconds), Resil(Rec)});
     SumSplits += Rec.Splits;
     SumBoxed += Rec.Boxed;
+    SumRollbacks += Rec.Rollbacks;
     MaxRegions = std::max(MaxRegions, Rec.RegionsOut);
     MaxNodes = std::max(MaxNodes, Rec.NodesOut);
     MaxCharged = std::max(MaxCharged, Rec.ChargedBytes);
@@ -148,7 +215,8 @@ void printLayerReport(const std::vector<LayerRecord> &Layers) {
   Table.addRow({"sum/max", "-", std::to_string(MaxRegions),
                 std::to_string(MaxNodes), std::to_string(SumSplits),
                 std::to_string(SumBoxed), formatBytes(MaxCharged),
-                formatSeconds(SumSeconds)});
+                formatSeconds(SumSeconds),
+                SumRollbacks > 0 ? std::to_string(SumRollbacks) + " rb" : "-"});
   std::printf("per-layer telemetry:\n%s", Table.render().c_str());
 }
 
@@ -161,6 +229,8 @@ int main(int Argc, char **Argv) {
   bool Report = false;
   GenProveConfig Config;
   Config.NodeThreshold = 250;
+  FaultPlan Faults;
+  bool HaveFaults = false;
 
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
@@ -197,7 +267,24 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--schedule")
       Config.Schedule =
           Next() == "B" ? RefinementSchedule::B : RefinementSchedule::A;
-    else if (Arg == "--report")
+    else if (Arg == "--resilient")
+      Config.Resilience.Enabled = true;
+    else if (Arg == "--deadline-ms") {
+      Config.Resilience.Enabled = true;
+      Config.Resilience.DeadlineSeconds = std::stod(Next()) / 1000.0;
+    } else if (Arg == "--inject-oom-layer") {
+      Faults.OomAtLayer = std::stoll(Next());
+      HaveFaults = true;
+    } else if (Arg == "--inject-oom-count") {
+      Faults.OomFireCount = std::stoll(Next());
+      HaveFaults = true;
+    } else if (Arg == "--inject-nan-layer") {
+      Faults.NanAtLayer = std::stoll(Next());
+      HaveFaults = true;
+    } else if (Arg == "--clock-skew-ms") {
+      Faults.ClockSkewSecondsPerLayer = std::stod(Next()) / 1000.0;
+      HaveFaults = true;
+    } else if (Arg == "--report")
       Report = true;
     else if (Arg == "--trace-out")
       TraceOutPath = Next();
@@ -210,6 +297,15 @@ int main(int Argc, char **Argv) {
   if (NetPaths.empty() || StartPath.empty() || EndPath.empty() ||
       ShapeText.empty() || SpecText.empty())
     usage("--net, --input-shape, --start, --end and --spec are required");
+
+  // The fault-injection harness lives for the whole analysis; a skewed
+  // clock replaces the wall clock so deadline runs are deterministic.
+  FaultInjector Injector(Faults);
+  if (HaveFaults) {
+    Config.Resilience.Faults = &Injector;
+    if (Faults.ClockSkewSecondsPerLayer > 0.0)
+      Config.Resilience.Clock = Injector.clock();
+  }
 
   // Observability is opt-in: tracing and metrics both default off.
   if (!TraceOutPath.empty())
@@ -226,6 +322,16 @@ int main(int Argc, char **Argv) {
       if (!Net) {
         std::fprintf(stderr, "genprove_cli: cannot load network %s\n",
                      Path.c_str());
+        return 2;
+      }
+      // A NaN/Inf weight would silently poison every bound downstream;
+      // refuse it here with a pointer to the offending tensor instead.
+      const std::string Bad = findNonFiniteParam(*Net);
+      if (!Bad.empty()) {
+        std::fprintf(stderr,
+                     "genprove_cli: network %s has a non-finite weight in "
+                     "parameter '%s'; refusing to certify\n",
+                     Path.c_str(), Bad.c_str());
         return 2;
       }
       Networks.push_back(std::move(*Net));
@@ -276,13 +382,17 @@ int main(int Argc, char **Argv) {
                 formatBytes(Config.MemoryBudgetBytes).c_str());
     return 3;
   }
+  const bool Degraded = Result.Bounds.Degraded || Result.Degraded;
   std::printf("bounds:  [%.6f, %.6f]  width %s\n", Result.Bounds.Lower,
               Result.Bounds.Upper, formatBound(Result.Bounds.width()).c_str());
   if (Config.Mode == AnalysisMode::Deterministic) {
     const char *Verdict = Result.Bounds.Lower >= 1.0   ? "HOLDS"
                           : Result.Bounds.Upper <= 0.0 ? "NEVER HOLDS"
                                                        : "UNKNOWN";
-    std::printf("verdict: %s\n", Verdict);
+    std::printf("verdict: %s%s\n", Verdict, Degraded ? " (DEGRADED)" : "");
+  } else if (Degraded) {
+    std::printf("verdict: DEGRADED; holds with probability in [%.6f, %.6f]\n",
+                Result.Bounds.Lower, Result.Bounds.Upper);
   } else {
     std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
                 Result.Bounds.Lower, Result.Bounds.Upper);
@@ -293,5 +403,14 @@ int main(int Argc, char **Argv) {
               static_cast<long long>(Result.MaxNodes),
               formatBytes(Result.PeakBytes).c_str(),
               static_cast<long long>(Result.Retries));
+  if (Degraded) {
+    std::printf("degrade: rung %s, %lld rollbacks, %lld fallback-box layers, "
+                "deadline %s, quarantined mass %.6f\n",
+                degradeRungName(Result.Rung),
+                static_cast<long long>(Result.Rollbacks),
+                static_cast<long long>(Result.FallbackBoxLayers),
+                Result.DeadlineHit ? "hit" : "met", Result.QuarantinedMass);
+    return 4; // sound but degraded — distinct from success and from OOM.
+  }
   return 0;
 }
