@@ -22,6 +22,7 @@
 #include "src/core/model_zoo.h"
 #include "src/sampling/sampler.h"
 
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -119,6 +120,22 @@ public:
   const GridCell &cell(DatasetId Dataset, const std::string &Network,
                        Method Which);
 
+  /// One grid coordinate for prefetchCells.
+  struct CellRequest {
+    DatasetId Dataset;
+    std::string Network;
+    Method Which;
+  };
+
+  /// Compute every not-yet-cached requested cell, fanning independent
+  /// cells out over the thread pool (cells are pure functions of the
+  /// BenchConfig, so concurrent evaluation yields byte-identical grid.csv
+  /// rows to sequential evaluation). Lazily-trained models are warmed
+  /// serially first; the only shared mutable state during the fan-out is
+  /// the VAE encoder (it caches activations), which is mutex-guarded.
+  /// Subsequent cell() calls for these coordinates are cache hits.
+  void prefetchCells(const std::vector<CellRequest> &Requests);
+
   /// Classifier or attribute detector for the dataset/architecture.
   Sequential &targetNetwork(DatasetId Dataset, const std::string &Network);
 
@@ -150,6 +167,9 @@ private:
   std::map<std::string, GridCell> Cache;
   std::set<std::string> FreshKeys; ///< keys computed by this process
   bool Dirty = false;
+  /// Serializes Vae::encode during parallel cell evaluation (the encoder
+  /// caches per-layer activations for backward, so predict mutates).
+  std::mutex EncodeMu;
 };
 
 /// The "scaled GB" display: the simulated budget stands in for 24 GB, so

@@ -1,15 +1,21 @@
 //===- bench/micro_kernels.cpp - kernel microbenchmarks ---------*- C++ -*-===//
 //
 // google-benchmark microbenchmarks of the kernels the verifier spends its
-// time in: matmul, im2col convolution, transposed convolution, segment
-// ReLU splitting, relaxation, and degree-1 vs degree-2 propagation (the
-// GenProveCurve ablation from DESIGN.md).
+// time in: matmul (tiled vs the pre-optimization naive kernel, across
+// sizes and thread counts), im2col convolution, transposed convolution,
+// concurrent grid-cell style propagation, segment ReLU splitting,
+// relaxation, and degree-1 vs degree-2 propagation (the GenProveCurve
+// ablation from DESIGN.md).
+//
+// Emit the machine-readable record with:
+//   micro_kernels --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/domains/propagate.h"
 #include "src/nn/activations.h"
 #include "src/nn/linear.h"
+#include "src/parallel/thread_pool.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
 
@@ -19,8 +25,40 @@ namespace {
 
 using namespace genprove;
 
+/// The seed's GEMM: plain i-k-j triple loop with the zero-skip branch,
+/// always serial. Kept verbatim as the reference the tiled kernel is
+/// measured against (BM_Matmul / BM_MatmulNaive at threads=1 isolates the
+/// tiling + unrolling win from the threading win).
+Tensor naiveMatmul(const Tensor &A, const Tensor &B) {
+  const int64_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
+  Tensor C({M, N});
+  const double *Ad = A.data();
+  const double *Bd = B.data();
+  double *Cd = C.data();
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t Kk = 0; Kk < K; ++Kk) {
+      const double Aik = Ad[I * K + Kk];
+      if (Aik == 0.0)
+        continue;
+      const double *Brow = Bd + Kk * N;
+      double *Crow = Cd + I * N;
+      for (int64_t J = 0; J < N; ++J)
+        Crow[J] += Aik * Brow[J];
+    }
+  return C;
+}
+
+/// Pin the pool to State.range(1) threads for the benchmark body.
+struct PoolScope {
+  explicit PoolScope(int64_t Threads) {
+    ThreadPool::global().setThreads(Threads);
+  }
+  ~PoolScope() { ThreadPool::global().setThreads(ThreadPool::envThreads()); }
+};
+
 void BM_Matmul(benchmark::State &State) {
   const int64_t N = State.range(0);
+  PoolScope Scope(State.range(1));
   Rng R(1);
   Tensor A = Tensor::randn({N, N}, R);
   Tensor B = Tensor::randn({N, N}, R);
@@ -30,10 +68,52 @@ void BM_Matmul(benchmark::State &State) {
   }
   State.SetItemsProcessed(State.iterations() * N * N * N);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Matmul)
+    ->ArgNames({"n", "threads"})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({128, 2})
+    ->Args({256, 2})
+    ->Args({512, 2})
+    ->Args({128, 4})
+    ->Args({256, 4})
+    ->Args({512, 4});
+
+void BM_MatmulNaive(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  Rng R(1);
+  Tensor A = Tensor::randn({N, N}, R);
+  Tensor B = Tensor::randn({N, N}, R);
+  for (auto _ : State) {
+    Tensor C = naiveMatmul(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N * N);
+}
+BENCHMARK(BM_MatmulNaive)->ArgName("n")->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatmulTransB(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  PoolScope Scope(State.range(1));
+  Rng R(6);
+  Tensor A = Tensor::randn({N, N}, R);
+  Tensor B = Tensor::randn({N, N}, R);
+  for (auto _ : State) {
+    Tensor C = matmulTransB(A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N * N);
+}
+BENCHMARK(BM_MatmulTransB)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 4});
 
 void BM_Conv2d(benchmark::State &State) {
   const int64_t Batch = State.range(0);
+  PoolScope Scope(State.range(1));
   Rng R(2);
   ConvGeometry G;
   G.InChannels = 16;
@@ -50,10 +130,17 @@ void BM_Conv2d(benchmark::State &State) {
   }
   State.SetItemsProcessed(State.iterations() * Batch);
 }
-BENCHMARK(BM_Conv2d)->Arg(1)->Arg(16)->Arg(64);
+BENCHMARK(BM_Conv2d)
+    ->ArgNames({"batch", "threads"})
+    ->Args({1, 1})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({16, 4})
+    ->Args({64, 4});
 
 void BM_ConvTranspose2d(benchmark::State &State) {
   const int64_t Batch = State.range(0);
+  PoolScope Scope(State.range(1));
   Rng R(3);
   ConvGeometry G;
   G.InChannels = 32;
@@ -71,7 +158,63 @@ void BM_ConvTranspose2d(benchmark::State &State) {
   }
   State.SetItemsProcessed(State.iterations() * Batch);
 }
-BENCHMARK(BM_ConvTranspose2d)->Arg(1)->Arg(16);
+BENCHMARK(BM_ConvTranspose2d)
+    ->ArgNames({"batch", "threads"})
+    ->Args({1, 1})
+    ->Args({16, 1})
+    ->Args({16, 4});
+
+/// Grid-cell style concurrency: independent propagations through
+/// independent networks fanned out over the pool, the same shape as
+/// BenchEnv::prefetchCells. items_per_second is cells/s; the threads=1 vs
+/// threads=4 ratio is the harness-level scaling number recorded in
+/// BENCH_kernels.json.
+void BM_ConcurrentCells(benchmark::State &State) {
+  const int64_t NumCells = 8;
+  PoolScope Scope(State.range(0));
+  Rng R(8);
+  std::vector<Sequential> Nets;
+  std::vector<Tensor> Starts, Ends;
+  for (int64_t C = 0; C < NumCells; ++C) {
+    Sequential Net;
+    const std::vector<int64_t> Dims{8, 48, 48, 10};
+    for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+      auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+      L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, 0.5);
+      L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.3);
+      Net.add(std::move(L));
+      if (I + 2 < Dims.size())
+        Net.add(std::make_unique<ReLU>());
+    }
+    Nets.push_back(std::move(Net));
+    Starts.push_back(Tensor::randn({1, 8}, R));
+    Ends.push_back(Tensor::randn({1, 8}, R));
+  }
+  for (auto _ : State) {
+    std::vector<size_t> Sizes(static_cast<size_t>(NumCells));
+    parallelFor(NumCells, 1, [&](int64_t Begin, int64_t End) {
+      for (int64_t I = Begin; I < End; ++I) {
+        PropagateConfig Config;
+        DeviceMemoryModel Memory;
+        PropagateStats Stats;
+        std::vector<Region> Init{
+            makeSegmentRegion(Starts[static_cast<size_t>(I)],
+                              Ends[static_cast<size_t>(I)])};
+        auto Final = propagateRegions(Nets[static_cast<size_t>(I)].view(),
+                                      Shape({1, 8}), std::move(Init), Config,
+                                      Memory, Stats);
+        Sizes[static_cast<size_t>(I)] = Final.size();
+      }
+    });
+    benchmark::DoNotOptimize(Sizes.data());
+  }
+  State.SetItemsProcessed(State.iterations() * NumCells);
+}
+BENCHMARK(BM_ConcurrentCells)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 /// Segment vs quadratic propagation through a random MLP: the degree-2
 /// overhead ablation.

@@ -27,6 +27,12 @@ void printMainTable(BenchEnv &Env) {
 
   TablePrinter Table({"Dataset", "Domain", "peak mem (scaled GB) S/M/L",
                       "OOM% S/M/L", "runtime (s) S/M/L"});
+  std::vector<BenchEnv::CellRequest> Wanted;
+  for (DatasetId Data : {DatasetId::Faces, DatasetId::Shoes})
+    for (Method Which : {Method::GenProveExact, Method::GenProveRelax})
+      for (const char *Net : {"ConvSmall", "ConvMed", "ConvLarge"})
+        Wanted.push_back({Data, Net, Which});
+  Env.prefetchCells(Wanted);
   for (DatasetId Data : {DatasetId::Faces, DatasetId::Shoes}) {
     for (Method Which : {Method::GenProveExact, Method::GenProveRelax}) {
       std::string Mem, Oom, Time;

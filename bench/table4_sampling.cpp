@@ -23,6 +23,10 @@ int main() {
 
   TablePrinter Table(
       {"Guarantee", "Domain", "CelebA*", "Zappos50k*"});
+  Env.prefetchCells({{DatasetId::Faces, "ConvLarge", Method::GenProveRelax},
+                     {DatasetId::Shoes, "ConvLarge", Method::GenProveRelax},
+                     {DatasetId::Faces, "ConvLarge", Method::Sampling},
+                     {DatasetId::Shoes, "ConvLarge", Method::Sampling}});
   {
     const GridCell &F =
         Env.cell(DatasetId::Faces, "ConvLarge", Method::GenProveRelax);

@@ -41,6 +41,13 @@ int main() {
       {"99.999% Confidence", Method::Sampling, "Sampling"},
   };
 
+  std::vector<BenchEnv::CellRequest> Wanted;
+  for (DatasetId Data : {DatasetId::Faces, DatasetId::Shoes})
+    for (const char *Net : {"ConvSmall", "ConvMed", "ConvLarge"})
+      for (const RowSpec &Row : Rows)
+        Wanted.push_back({Data, Net, Row.Which});
+  Env.prefetchCells(Wanted);
+
   for (DatasetId Data : {DatasetId::Faces, DatasetId::Shoes}) {
     for (const char *Net : {"ConvSmall", "ConvMed", "ConvLarge"}) {
       for (const RowSpec &Row : Rows) {

@@ -26,6 +26,7 @@
 #ifndef GENPROVE_DOMAINS_MEMORY_MODEL_H
 #define GENPROVE_DOMAINS_MEMORY_MODEL_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -64,11 +65,17 @@ public:
 
   /// Charge the current abstract state size; returns false once the peak
   /// exceeds the budget (the analysis should abort with OOM).
+  /// Thread-safe: the peak is a CAS max, so concurrent charge/tryCharge
+  /// calls from pool workers never lose an update. The interceptor hook
+  /// itself is installed before propagation starts and only consulted
+  /// here; resilient propagation funnels all charges through a single
+  /// post-join call per layer, so interceptor firing stays deterministic.
   bool charge(size_t Bytes) {
-    PeakBytes = Bytes > PeakBytes ? Bytes : PeakBytes;
+    updatePeak(Bytes);
     if (Interceptor && Interceptor(Bytes))
       return false;
-    return BudgetBytes == 0 || PeakBytes <= BudgetBytes;
+    return BudgetBytes == 0 ||
+           PeakBytes.load(std::memory_order_relaxed) <= BudgetBytes;
   }
 
   /// Charge a state of Nodes representation points of Dim doubles each.
@@ -84,7 +91,7 @@ public:
       return false;
     if (BudgetBytes != 0 && Bytes > BudgetBytes)
       return false;
-    PeakBytes = Bytes > PeakBytes ? Bytes : PeakBytes;
+    updatePeak(Bytes);
     return true;
   }
 
@@ -104,17 +111,28 @@ public:
     Interceptor = std::move(Hook);
   }
 
-  size_t peakBytes() const { return PeakBytes; }
+  size_t peakBytes() const {
+    return PeakBytes.load(std::memory_order_relaxed);
+  }
   size_t budgetBytes() const { return BudgetBytes; }
   bool exhausted() const {
-    return BudgetBytes != 0 && PeakBytes > BudgetBytes;
+    return BudgetBytes != 0 &&
+           PeakBytes.load(std::memory_order_relaxed) > BudgetBytes;
   }
 
-  void reset() { PeakBytes = 0; }
+  void reset() { PeakBytes.store(0, std::memory_order_relaxed); }
 
 private:
+  void updatePeak(size_t Bytes) {
+    size_t Cur = PeakBytes.load(std::memory_order_relaxed);
+    while (Bytes > Cur &&
+           !PeakBytes.compare_exchange_weak(Cur, Bytes,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
   size_t BudgetBytes;
-  size_t PeakBytes = 0;
+  std::atomic<size_t> PeakBytes{0};
   ChargeInterceptor Interceptor;
 };
 

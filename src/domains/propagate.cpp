@@ -5,6 +5,7 @@
 #include "src/domains/fault_injection.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/parallel/thread_pool.h"
 #include "src/util/timer.h"
 
 #include <algorithm>
@@ -65,15 +66,22 @@ Tensor activationsToRows(const Tensor &Acts) {
 /// single layer application.
 void applyAffineLayer(const Layer &L, const Shape &InShape,
                       std::vector<Region> &Regions) {
-  // Gather constant rows (curve a0) for the affine map and higher-degree
-  // rows for the linear map.
+  // Count rows of each kind and precompute every region's destination
+  // offset, so the gather/scatter copy loops below can run
+  // region-parallel with disjoint writes.
+  const int64_t NumRegions = static_cast<int64_t>(Regions.size());
   int64_t NumA0 = 0, NumHi = 0, NumBoxes = 0;
-  for (const auto &R : Regions) {
+  std::vector<int64_t> A0At(static_cast<size_t>(NumRegions));
+  std::vector<int64_t> HiAt(static_cast<size_t>(NumRegions));
+  std::vector<int64_t> BoxAt(static_cast<size_t>(NumRegions));
+  for (int64_t I = 0; I < NumRegions; ++I) {
+    const auto &R = Regions[static_cast<size_t>(I)];
     if (R.Kind == RegionKind::Curve) {
-      NumA0 += 1;
+      A0At[static_cast<size_t>(I)] = NumA0++;
+      HiAt[static_cast<size_t>(I)] = NumHi;
       NumHi += R.degree();
     } else {
-      NumBoxes += 1;
+      BoxAt[static_cast<size_t>(I)] = NumBoxes++;
     }
   }
   const int64_t N =
@@ -86,25 +94,24 @@ void applyAffineLayer(const Layer &L, const Shape &InShape,
   Tensor Centers({std::max<int64_t>(NumBoxes, 1), N});
   Tensor Radii({std::max<int64_t>(NumBoxes, 1), N});
 
-  int64_t IA0 = 0, IHi = 0, IBox = 0;
-  for (const auto &R : Regions) {
-    if (R.Kind == RegionKind::Curve) {
-      std::copy(R.Coeffs.data(), R.Coeffs.data() + N,
-                A0Rows.data() + IA0 * N);
-      ++IA0;
-      for (int64_t D = 1; D <= R.degree(); ++D) {
-        std::copy(R.Coeffs.data() + D * N, R.Coeffs.data() + (D + 1) * N,
-                  HiRows.data() + IHi * N);
-        ++IHi;
+  parallelFor(NumRegions, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I) {
+      const auto &R = Regions[static_cast<size_t>(I)];
+      if (R.Kind == RegionKind::Curve) {
+        std::copy(R.Coeffs.data(), R.Coeffs.data() + N,
+                  A0Rows.data() + A0At[static_cast<size_t>(I)] * N);
+        for (int64_t D = 1; D <= R.degree(); ++D)
+          std::copy(R.Coeffs.data() + D * N, R.Coeffs.data() + (D + 1) * N,
+                    HiRows.data() +
+                        (HiAt[static_cast<size_t>(I)] + D - 1) * N);
+      } else {
+        std::copy(R.Center.data(), R.Center.data() + N,
+                  Centers.data() + BoxAt[static_cast<size_t>(I)] * N);
+        std::copy(R.Radius.data(), R.Radius.data() + N,
+                  Radii.data() + BoxAt[static_cast<size_t>(I)] * N);
       }
-    } else {
-      std::copy(R.Center.data(), R.Center.data() + N,
-                Centers.data() + IBox * N);
-      std::copy(R.Radius.data(), R.Radius.data() + N,
-                Radii.data() + IBox * N);
-      ++IBox;
     }
-  }
+  });
 
   Tensor NewA0, NewHi, NewCenters, NewRadii;
   if (NumA0 > 0)
@@ -124,31 +131,33 @@ void applyAffineLayer(const Layer &L, const Shape &InShape,
   const int64_t OutN = NumA0 > 0   ? NewA0.dim(1)
                        : NumBoxes > 0 ? NewCenters.dim(1)
                                       : N;
-  IA0 = IHi = IBox = 0;
-  for (auto &R : Regions) {
-    if (R.Kind == RegionKind::Curve) {
-      const int64_t Degree = R.degree();
-      Tensor Coeffs({Degree + 1, OutN});
-      std::copy(NewA0.data() + IA0 * OutN, NewA0.data() + (IA0 + 1) * OutN,
-                Coeffs.data());
-      ++IA0;
-      for (int64_t D = 1; D <= Degree; ++D) {
-        std::copy(NewHi.data() + IHi * OutN, NewHi.data() + (IHi + 1) * OutN,
-                  Coeffs.data() + D * OutN);
-        ++IHi;
+  parallelFor(NumRegions, [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I) {
+      auto &R = Regions[static_cast<size_t>(I)];
+      if (R.Kind == RegionKind::Curve) {
+        const int64_t Degree = R.degree();
+        const int64_t IA0 = A0At[static_cast<size_t>(I)];
+        const int64_t IHi = HiAt[static_cast<size_t>(I)];
+        Tensor Coeffs({Degree + 1, OutN});
+        std::copy(NewA0.data() + IA0 * OutN, NewA0.data() + (IA0 + 1) * OutN,
+                  Coeffs.data());
+        for (int64_t D = 1; D <= Degree; ++D)
+          std::copy(NewHi.data() + (IHi + D - 1) * OutN,
+                    NewHi.data() + (IHi + D) * OutN,
+                    Coeffs.data() + D * OutN);
+        R.Coeffs = std::move(Coeffs);
+      } else {
+        const int64_t IBox = BoxAt[static_cast<size_t>(I)];
+        Tensor C({1, OutN}), Rr({1, OutN});
+        std::copy(NewCenters.data() + IBox * OutN,
+                  NewCenters.data() + (IBox + 1) * OutN, C.data());
+        std::copy(NewRadii.data() + IBox * OutN,
+                  NewRadii.data() + (IBox + 1) * OutN, Rr.data());
+        R.Center = std::move(C);
+        R.Radius = std::move(Rr);
       }
-      R.Coeffs = std::move(Coeffs);
-    } else {
-      Tensor C({1, OutN}), Rr({1, OutN});
-      std::copy(NewCenters.data() + IBox * OutN,
-                NewCenters.data() + (IBox + 1) * OutN, C.data());
-      std::copy(NewRadii.data() + IBox * OutN,
-                NewRadii.data() + (IBox + 1) * OutN, Rr.data());
-      R.Center = std::move(C);
-      R.Radius = std::move(Rr);
-      ++IBox;
     }
-  }
+  });
 }
 
 /// Interval ReLU on a box region, in place.
@@ -164,8 +173,10 @@ void reluBox(Region &Box) {
 
 /// Exact ReLU on a curve region: split at every component zero crossing,
 /// then mask each piece by the per-component sign at its midpoint.
+/// NumSplits is a plain per-call counter so the function can run on pool
+/// workers; the caller folds it into PropagateStats in region order.
 void reluCurve(const Region &Curve, const PropagateConfig &Config,
-               std::vector<Region> &Out, PropagateStats &Stats) {
+               std::vector<Region> &Out, int64_t &NumSplits) {
   GENPROVE_SPAN("relu_split");
   const int64_t N = Curve.dim();
   std::vector<double> Cuts;
@@ -204,7 +215,7 @@ void reluCurve(const Region &Curve, const PropagateConfig &Config,
     }
     Out.push_back(std::move(Piece));
   }
-  Stats.NumSplits += static_cast<int64_t>(Cuts.size()) - 2;
+  NumSplits += static_cast<int64_t>(Cuts.size()) - 2;
 }
 
 /// Collapse the whole state to one interval box (the FullBox rung). The
@@ -408,45 +419,73 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
         applyAffineLayer(*L, CurShape, Regions);
         NextShape = L->outputShape(CurShape);
       } else {
+        // Exact ReLU splitting is independent per region, so the split
+        // computation fans out over the pool in fixed mega-chunks; the
+        // memory-model charges are then replayed serially in region
+        // order. The replay issues exactly the same charge sequence (one
+        // cumulative charge per region) as the old serial loop, so OOM
+        // points, fault-injection interceptor firings, peak bytes and
+        // per-layer telemetry are bit-identical for any thread count.
+        // The chunk bound keeps host allocation past an OOM point to at
+        // most one mega-chunk of split pieces.
+        constexpr int64_t RegionChunk = 4096;
         std::vector<Region> Next;
         Next.reserve(Regions.size());
         int64_t RunningNodes = 0;
-        for (auto &R : Regions) {
-          const size_t Before = Next.size();
-          if (R.Kind == RegionKind::Box) {
-            reluBox(R);
-            RunningNodes += 2;
-            Next.push_back(std::move(R));
-          } else {
-            const int64_t NodesPerPiece = R.degree() + 1;
-            reluCurve(R, Config, Next, Stats);
-            RunningNodes +=
-                static_cast<int64_t>(Next.size() - Before) * NodesPerPiece;
-          }
-          // Charge incrementally: ReLU splitting can blow the state up
-          // mid-layer, and waiting until the layer finishes would let the
-          // host allocation far exceed the simulated device budget.
-          const bool Ok =
-              Resilient ? Memory.tryChargeState(RunningNodes,
-                                                CurShape.numel()) ||
-                              FullBoxActive
-                        : Memory.chargeState(RunningNodes, CurShape.numel());
-          if (!Ok) {
-            if (!Resilient) {
-              Stats.OutOfMemory = true;
-              Stats.OomLayer = static_cast<int64_t>(Li);
-              Rec.RegionsOut = static_cast<int64_t>(Next.size());
-              Rec.NodesOut = RunningNodes;
-              Rec.Splits = Stats.NumSplits - LayerSplits0;
-              Rec.ChargedBytes =
-                  stateBytes(RunningNodes, CurShape.numel());
-              Rec.Seconds = LayerClock.seconds();
-              Stats.Layers.push_back(Rec);
-              FlushCounters();
-              return {};
+        const int64_t NumRegions = static_cast<int64_t>(Regions.size());
+        for (int64_t CBegin = 0; CBegin < NumRegions && !ChargeFailed;
+             CBegin += RegionChunk) {
+          const int64_t CCount =
+              std::min(NumRegions - CBegin, RegionChunk);
+          std::vector<std::vector<Region>> Outs(
+              static_cast<size_t>(CCount));
+          std::vector<int64_t> Splits(static_cast<size_t>(CCount), 0);
+          std::vector<int64_t> Deltas(static_cast<size_t>(CCount), 0);
+          parallelFor(CCount, [&](int64_t Begin, int64_t End) {
+            for (int64_t I = Begin; I < End; ++I) {
+              Region &R = Regions[static_cast<size_t>(CBegin + I)];
+              auto &Out = Outs[static_cast<size_t>(I)];
+              if (R.Kind == RegionKind::Box) {
+                reluBox(R);
+                Deltas[static_cast<size_t>(I)] = 2;
+                Out.push_back(std::move(R));
+              } else {
+                const int64_t NodesPerPiece = R.degree() + 1;
+                reluCurve(R, Config, Out, Splits[static_cast<size_t>(I)]);
+                Deltas[static_cast<size_t>(I)] =
+                    static_cast<int64_t>(Out.size()) * NodesPerPiece;
+              }
             }
-            ChargeFailed = true;
-            break;
+          });
+          // Serial charge replay: identical cumulative totals and call
+          // count to the pre-parallel per-region loop.
+          for (int64_t I = 0; I < CCount && !ChargeFailed; ++I) {
+            RunningNodes += Deltas[static_cast<size_t>(I)];
+            Stats.NumSplits += Splits[static_cast<size_t>(I)];
+            for (Region &P : Outs[static_cast<size_t>(I)])
+              Next.push_back(std::move(P));
+            const bool Ok =
+                Resilient
+                    ? Memory.tryChargeState(RunningNodes,
+                                            CurShape.numel()) ||
+                          FullBoxActive
+                    : Memory.chargeState(RunningNodes, CurShape.numel());
+            if (!Ok) {
+              if (!Resilient) {
+                Stats.OutOfMemory = true;
+                Stats.OomLayer = static_cast<int64_t>(Li);
+                Rec.RegionsOut = static_cast<int64_t>(Next.size());
+                Rec.NodesOut = RunningNodes;
+                Rec.Splits = Stats.NumSplits - LayerSplits0;
+                Rec.ChargedBytes =
+                    stateBytes(RunningNodes, CurShape.numel());
+                Rec.Seconds = LayerClock.seconds();
+                Stats.Layers.push_back(Rec);
+                FlushCounters();
+                return {};
+              }
+              ChargeFailed = true;
+            }
           }
         }
         if (!ChargeFailed)

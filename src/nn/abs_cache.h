@@ -1,0 +1,68 @@
+//===- nn/abs_cache.h - Cached absolute-weight tensor ----------*- C++ -*-===//
+///
+/// \file
+/// Memoized elementwise |W| for interval (box) propagation. Every
+/// applyToBox used to clone + fabs the weight tensor per call, which on
+/// deep decoders re-did the same O(|W|) work thousands of times per
+/// certification run; the cache builds |W| once and rebuilds only after
+/// an invalidate().
+///
+/// Invalidation contract: the owning layer bumps the cache from every
+/// path that can hand out mutable parameter access (the non-const
+/// weight()/bias() accessors and params()). Training loops re-fetch
+/// params() each step, so a stale |W| cannot survive into a subsequent
+/// verification pass.
+///
+/// Thread safety: get() is safe for concurrent readers — parallel bench
+/// grid cells share Layer objects — via a double-purpose mutex that also
+/// serializes the one-time rebuild. Mutating weights while a
+/// verification is in flight is not supported (that is a data race on
+/// the weight tensor itself, independent of this cache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_NN_ABS_CACHE_H
+#define GENPROVE_NN_ABS_CACHE_H
+
+#include "src/tensor/tensor.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+
+namespace genprove {
+
+class AbsWeightCache {
+public:
+  /// Mark the cached |W| stale; cheap, called from parameter accessors.
+  void invalidate() { Version.fetch_add(1, std::memory_order_relaxed); }
+
+  /// |W| for the given weight tensor, rebuilt only when stale. The
+  /// reference stays valid until the next invalidate()+get() pair.
+  const Tensor &get(const Tensor &W) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    // Snapshot the version before cloning: an invalidate() racing with
+    // the rebuild leaves BuiltVersion behind, forcing the next get() to
+    // rebuild again rather than serving a half-stale |W|.
+    const uint64_t V = Version.load(std::memory_order_acquire);
+    if (BuiltVersion != V) {
+      Abs = W.clone();
+      double *D = Abs.data();
+      for (int64_t I = 0; I < Abs.numel(); ++I)
+        D[I] = std::fabs(D[I]);
+      BuiltVersion = V;
+    }
+    return Abs;
+  }
+
+private:
+  std::atomic<uint64_t> Version{1};
+  mutable std::mutex Mu;
+  mutable Tensor Abs;
+  mutable uint64_t BuiltVersion = 0;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_NN_ABS_CACHE_H

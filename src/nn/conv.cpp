@@ -40,10 +40,12 @@ Tensor Conv2d::applyLinear(const Tensor &Points) const {
 
 void Conv2d::applyToBox(Tensor &Center, Tensor &Radius) const {
   Center = conv2d(Center, Weight, Bias, Geom);
-  Radius = conv2dAbs(Radius, Weight, Geom);
+  // |W| conv with no bias == conv2dAbs, minus the per-call clone+fabs.
+  Radius = conv2d(Radius, AbsCache.get(Weight), Tensor(), Geom);
 }
 
 std::vector<Param> Conv2d::params() {
+  AbsCache.invalidate(); // optimizers mutate through the returned pointers
   return {{&Weight, &GradWeight, "weight"}, {&Bias, &GradBias, "bias"}};
 }
 

@@ -3,6 +3,7 @@
 #ifndef GENPROVE_NN_CONV_H
 #define GENPROVE_NN_CONV_H
 
+#include "src/nn/abs_cache.h"
 #include "src/nn/layer.h"
 #include "src/tensor/ops.h"
 
@@ -24,8 +25,16 @@ public:
   std::string describe() const override;
 
   const ConvGeometry &geometry() const { return Geom; }
-  Tensor &weight() { return Weight; }
-  Tensor &bias() { return Bias; }
+  // Mutable parameter access invalidates the memoized |W| (see
+  // nn/abs_cache.h for the contract).
+  Tensor &weight() {
+    AbsCache.invalidate();
+    return Weight;
+  }
+  Tensor &bias() {
+    AbsCache.invalidate();
+    return Bias;
+  }
   const Tensor &weight() const { return Weight; }
   const Tensor &bias() const { return Bias; }
 
@@ -36,6 +45,7 @@ private:
   Tensor GradWeight;
   Tensor GradBias;
   Tensor CachedInput;
+  AbsWeightCache AbsCache;
 };
 
 } // namespace genprove

@@ -42,10 +42,13 @@ Tensor ConvTranspose2d::applyLinear(const Tensor &Points) const {
 
 void ConvTranspose2d::applyToBox(Tensor &Center, Tensor &Radius) const {
   Center = convTranspose2d(Center, Weight, Bias, Geom);
-  Radius = convTranspose2dAbs(Radius, Weight, Geom);
+  // |W| scatter with no bias == convTranspose2dAbs, minus the per-call
+  // elementwise fabs of every weight use.
+  Radius = convTranspose2d(Radius, AbsCache.get(Weight), Tensor(), Geom);
 }
 
 std::vector<Param> ConvTranspose2d::params() {
+  AbsCache.invalidate(); // optimizers mutate through the returned pointers
   return {{&Weight, &GradWeight, "weight"}, {&Bias, &GradBias, "bias"}};
 }
 

@@ -45,13 +45,11 @@ Tensor Linear::applyLinear(const Tensor &Points) const {
 
 void Linear::applyToBox(Tensor &Center, Tensor &Radius) const {
   Center = applyAffine(Center);
-  Tensor AbsW = Weight.clone();
-  for (int64_t I = 0; I < AbsW.numel(); ++I)
-    AbsW[I] = std::fabs(AbsW[I]);
-  Radius = matmulTransB(Radius, AbsW);
+  Radius = matmulTransB(Radius, AbsCache.get(Weight));
 }
 
 std::vector<Param> Linear::params() {
+  AbsCache.invalidate(); // optimizers mutate through the returned pointers
   return {{&Weight, &GradWeight, "weight"}, {&Bias, &GradBias, "bias"}};
 }
 

@@ -3,6 +3,7 @@
 #ifndef GENPROVE_NN_LINEAR_H
 #define GENPROVE_NN_LINEAR_H
 
+#include "src/nn/abs_cache.h"
 #include "src/nn/layer.h"
 
 namespace genprove {
@@ -23,8 +24,16 @@ public:
 
   int64_t inFeatures() const { return InFeatures; }
   int64_t outFeatures() const { return OutFeatures; }
-  Tensor &weight() { return Weight; }
-  Tensor &bias() { return Bias; }
+  // Mutable parameter access invalidates the memoized |W| (see
+  // nn/abs_cache.h for the contract).
+  Tensor &weight() {
+    AbsCache.invalidate();
+    return Weight;
+  }
+  Tensor &bias() {
+    AbsCache.invalidate();
+    return Bias;
+  }
   const Tensor &weight() const { return Weight; }
   const Tensor &bias() const { return Bias; }
 
@@ -36,6 +45,7 @@ private:
   Tensor GradWeight; // [Out, In]
   Tensor GradBias;   // [Out]
   Tensor CachedInput;
+  AbsWeightCache AbsCache;
 };
 
 } // namespace genprove

@@ -101,6 +101,13 @@ public:
       obs_detail::atomicMaxDouble(Value, V);
   }
 
+  /// Accumulate into the gauge (e.g. summed busy/idle seconds across
+  /// pool participants).
+  void add(double V) {
+    if (metricsEnabled())
+      obs_detail::atomicAddDouble(Value, V);
+  }
+
   double value() const { return Value.load(std::memory_order_relaxed); }
   const std::string &name() const { return Name; }
 

@@ -1,0 +1,293 @@
+//===- parallel/thread_pool.cpp - Shared parallel runtime ----------------===//
+
+#include "src/parallel/thread_pool.h"
+
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace genprove {
+
+namespace {
+
+thread_local bool InParallelChunk = false;
+
+/// RAII flag so nested parallelFor calls from inside a chunk body run
+/// inline instead of re-entering the pool.
+struct ChunkScope {
+  ChunkScope() { InParallelChunk = true; }
+  ~ChunkScope() { InParallelChunk = false; }
+};
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+/// One in-flight parallelFor. Lives on the submitting thread's stack;
+/// workers only touch it between registering in ActiveWorkers and
+/// deregistering, and the submitter waits for ActiveWorkers to drain
+/// before returning, so the stack storage never escapes its lifetime.
+struct ThreadPool::Job {
+  const ChunkFn *Fn = nullptr;
+  int64_t N = 0;
+  int64_t Grain = 0;
+  int64_t NumChunks = 0;
+  int64_t NumSlots = 0;
+
+  /// Per-slot claim cursors over that slot's contiguous chunk slice
+  /// [SliceBegin[s], SliceEnd[s]); Next[s] advances by fetch_add from the
+  /// owner and from thieves alike.
+  std::vector<std::atomic<int64_t>> Next;
+  std::vector<int64_t> SliceEnd;
+
+  std::atomic<int64_t> Completed{0};
+  std::atomic<bool> HasError{false};
+  std::exception_ptr Error; ///< first chunk exception; guarded by ErrMu
+  std::mutex ErrMu;
+
+  Job(const ChunkFn &F, int64_t N, int64_t Grain, int64_t NumSlots)
+      : Fn(&F), N(N), Grain(Grain), NumChunks((N + Grain - 1) / Grain),
+        NumSlots(NumSlots), Next(static_cast<size_t>(NumSlots)),
+        SliceEnd(static_cast<size_t>(NumSlots)) {
+    for (int64_t Slot = 0; Slot < NumSlots; ++Slot) {
+      Next[static_cast<size_t>(Slot)].store(Slot * NumChunks / NumSlots,
+                                            std::memory_order_relaxed);
+      SliceEnd[static_cast<size_t>(Slot)] = (Slot + 1) * NumChunks / NumSlots;
+    }
+  }
+};
+
+struct ThreadPool::Worker {
+  std::thread Thread;
+};
+
+struct ThreadPool::Sync {
+  /// Serializes top-level submitters: one parallelFor in flight at a time.
+  std::mutex SubmitMu;
+
+  std::mutex Mu;
+  std::condition_variable WorkAvailable; ///< workers wait for a new job
+  std::condition_variable WorkersDone;   ///< submitter waits for drain
+  Job *CurrentJob = nullptr;             ///< non-null while a job is posted
+  uint64_t Generation = 0;               ///< bumped per posted job
+  int64_t ActiveWorkers = 0;             ///< workers inside the current job
+  bool Stop = false;
+  bool Spawned = false; ///< lazy worker start happened
+};
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(envThreads());
+  return Pool;
+}
+
+int64_t ThreadPool::envThreads() {
+  if (const char *Env = std::getenv("GENPROVE_THREADS")) {
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && V > 0)
+      return static_cast<int64_t>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? static_cast<int64_t>(HW) : 1;
+}
+
+bool ThreadPool::inParallelRegion() { return InParallelChunk; }
+
+int64_t ThreadPool::defaultGrain(int64_t N) {
+  // A pure function of N: split into at most 64 chunks so even the
+  // largest pool has steal targets, but never below 1 iteration.
+  return std::max<int64_t>(1, (N + 63) / 64);
+}
+
+ThreadPool::ThreadPool(int64_t Threads) : S(std::make_unique<Sync>()) {
+  NumThreads = std::max<int64_t>(1, std::min<int64_t>(Threads, 256));
+}
+
+ThreadPool::~ThreadPool() { joinWorkers(); }
+
+void ThreadPool::setThreads(int64_t Threads) {
+  Threads = std::max<int64_t>(1, std::min<int64_t>(Threads, 256));
+  std::lock_guard<std::mutex> SubmitLock(S->SubmitMu);
+  if (Threads == NumThreads)
+    return;
+  joinWorkers();
+  NumThreads = Threads;
+}
+
+void ThreadPool::ensureWorkers() {
+  // Called with SubmitMu held; workers are spawned once, on the first
+  // parallelFor that can actually use them.
+  std::lock_guard<std::mutex> Lock(S->Mu);
+  if (S->Spawned)
+    return;
+  S->Stop = false;
+  Workers.resize(static_cast<size_t>(NumThreads - 1));
+  for (int64_t I = 0; I < NumThreads - 1; ++I)
+    Workers[static_cast<size_t>(I)].Thread =
+        std::thread([this, I] { workerLoop(I + 1); });
+  S->Spawned = true;
+}
+
+void ThreadPool::joinWorkers() {
+  {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    if (!S->Spawned)
+      return;
+    S->Stop = true;
+  }
+  S->WorkAvailable.notify_all();
+  for (Worker &W : Workers)
+    if (W.Thread.joinable())
+      W.Thread.join();
+  Workers.clear();
+  std::lock_guard<std::mutex> Lock(S->Mu);
+  S->Spawned = false;
+  S->Stop = false;
+}
+
+void ThreadPool::runChunk(Job &J, int64_t Chunk) {
+  const int64_t Begin = Chunk * J.Grain;
+  const int64_t End = std::min(J.N, Begin + J.Grain);
+  try {
+    ChunkScope Scope;
+    (*J.Fn)(Begin, End);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(J.ErrMu);
+    if (!J.HasError.exchange(true))
+      J.Error = std::current_exception();
+  }
+  J.Completed.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ThreadPool::runSlot(Job &J, int64_t Slot) {
+  static Counter &TasksCtr = MetricsRegistry::global().counter("pool.tasks");
+  static Counter &StealsCtr = MetricsRegistry::global().counter("pool.steals");
+  static Gauge &BusyGauge = MetricsRegistry::global().gauge("pool.busy_seconds");
+  static Gauge &IdleGauge = MetricsRegistry::global().gauge("pool.idle_seconds");
+
+  const auto SlotStart = std::chrono::steady_clock::now();
+  double BusySeconds = 0.0;
+  int64_t Ran = 0, Stolen = 0;
+
+  // Drain our own slice first.
+  const size_t Me = static_cast<size_t>(Slot);
+  for (;;) {
+    int64_t Chunk = J.Next[Me].fetch_add(1, std::memory_order_relaxed);
+    if (Chunk >= J.SliceEnd[Me])
+      break;
+    const auto T0 = std::chrono::steady_clock::now();
+    runChunk(J, Chunk);
+    BusySeconds += secondsSince(T0);
+    ++Ran;
+  }
+
+  // Then steal single chunks from the other slices until all are dry.
+  for (int64_t Off = 1; Off < J.NumSlots; ++Off) {
+    const size_t Victim = static_cast<size_t>((Slot + Off) % J.NumSlots);
+    for (;;) {
+      int64_t Chunk = J.Next[Victim].fetch_add(1, std::memory_order_relaxed);
+      if (Chunk >= J.SliceEnd[Victim])
+        break;
+      const auto T0 = std::chrono::steady_clock::now();
+      runChunk(J, Chunk);
+      BusySeconds += secondsSince(T0);
+      ++Ran;
+      ++Stolen;
+    }
+  }
+
+  if (metricsEnabled()) {
+    TasksCtr.add(Ran);
+    StealsCtr.add(Stolen);
+    BusyGauge.add(BusySeconds);
+    IdleGauge.add(std::max(0.0, secondsSince(SlotStart) - BusySeconds));
+  }
+}
+
+void ThreadPool::workerLoop(int64_t Slot) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    Job *J = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(S->Mu);
+      S->WorkAvailable.wait(Lock, [&] {
+        return S->Stop || (S->CurrentJob && S->Generation != SeenGeneration);
+      });
+      if (S->Stop)
+        return;
+      SeenGeneration = S->Generation;
+      J = S->CurrentJob;
+      ++S->ActiveWorkers;
+    }
+    runSlot(*J, Slot);
+    {
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      --S->ActiveWorkers;
+    }
+    S->WorkersDone.notify_one();
+  }
+}
+
+void ThreadPool::parallelFor(int64_t N, int64_t Grain, const ChunkFn &Fn) {
+  if (N <= 0)
+    return;
+  if (Grain <= 0)
+    Grain = defaultGrain(N);
+
+  // Serial paths: size-1 pool, nested call, or a single chunk — run inline
+  // in ascending chunk order, exactly the pre-parallel iteration order.
+  // The in-parallel flag is deliberately NOT set here so that a
+  // single-chunk outer loop (e.g. a conv over one sample) still lets its
+  // inner kernels fan out.
+  const int64_t NumChunks = (N + Grain - 1) / Grain;
+  if (NumThreads == 1 || InParallelChunk || NumChunks == 1) {
+    for (int64_t Begin = 0; Begin < N; Begin += Grain)
+      Fn(Begin, std::min(N, Begin + Grain));
+    return;
+  }
+
+  std::lock_guard<std::mutex> SubmitLock(S->SubmitMu);
+  ensureWorkers();
+
+  Job J(Fn, N, Grain, NumThreads);
+  {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    S->CurrentJob = &J;
+    ++S->Generation;
+  }
+  S->WorkAvailable.notify_all();
+
+  // The caller participates as slot 0.
+  runSlot(J, 0);
+
+  // Wait for every chunk to finish AND every worker to leave the job
+  // before J (stack storage) goes away.
+  {
+    std::unique_lock<std::mutex> Lock(S->Mu);
+    S->WorkersDone.wait(Lock, [&] {
+      return J.Completed.load(std::memory_order_acquire) == J.NumChunks &&
+             S->ActiveWorkers == 0;
+    });
+    S->CurrentJob = nullptr;
+  }
+
+  if (J.HasError.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> Lock(J.ErrMu);
+    std::rethrow_exception(J.Error);
+  }
+}
+
+} // namespace genprove

@@ -2,10 +2,304 @@
 
 #include "src/tensor/ops.h"
 
+#include "src/parallel/thread_pool.h"
+
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace genprove {
+
+namespace {
+
+/// k-block size of the tiled GEMM kernels: a [TileK, N] slab of B stays
+/// hot in cache while a block of C rows accumulates against it. Purely a
+/// cache parameter — every C element still accumulates in ascending-k
+/// order, so tiling never changes the floating-point result.
+constexpr int64_t GemmTileK = 256;
+
+/// C[IBegin..IEnd) += A[IBegin..IEnd) * B for row-major A [M,K], B [K,N].
+///
+/// Structure: 4 C-row streams against 4 consecutive B rows per step. The
+/// k-unroll-by-4 keeps each C element in a register across 4 multiply-adds
+/// (one C load + store per 4 k-steps instead of per k-step), and the 4
+/// A-broadcast x B-row streams saturate the vector units without asking
+/// the compiler to register-promote accumulator arrays (which GCC 12
+/// declines to do — measured slower than the naive loop). Dense inner
+/// loop — no zero-skip branch (see ISSUE 4: the branch was a
+/// misprediction pessimization on dense data).
+///
+/// Determinism: every C element accumulates in ascending-k order and the
+/// dispatch wrappers below pin fp-contract=off, so the result is
+/// bit-identical to the naive i-k-j loop on every ISA path.
+__attribute__((always_inline)) inline void
+gemmRows4Body(const double *__restrict__ Ad, const double *__restrict__ Bd,
+              double *__restrict__ Cd, int64_t IBegin, int64_t IEnd,
+              int64_t K, int64_t N) {
+  for (int64_t Kk = 0; Kk < K; Kk += GemmTileK) {
+    const int64_t KEnd = std::min(K, Kk + GemmTileK);
+    int64_t I = IBegin;
+    for (; I + 4 <= IEnd; I += 4) {
+      const double *__restrict__ Ar[4];
+      double *__restrict__ Cr[4];
+      for (int R = 0; R < 4; ++R) {
+        Ar[R] = Ad + (I + R) * K;
+        Cr[R] = Cd + (I + R) * N;
+      }
+      int64_t Kc = Kk;
+      for (; Kc + 4 <= KEnd; Kc += 4) {
+        double Av[4][4];
+        for (int R = 0; R < 4; ++R)
+          for (int U = 0; U < 4; ++U)
+            Av[R][U] = Ar[R][Kc + U];
+        const double *__restrict__ Br = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J) {
+          double Bv[4];
+          for (int U = 0; U < 4; ++U)
+            Bv[U] = Br[U * N + J];
+          for (int R = 0; R < 4; ++R) {
+            double Acc = Cr[R][J];
+            for (int U = 0; U < 4; ++U)
+              Acc += Av[R][U] * Bv[U];
+            Cr[R][J] = Acc;
+          }
+        }
+      }
+      for (; Kc < KEnd; ++Kc) {
+        double Av[4];
+        for (int R = 0; R < 4; ++R)
+          Av[R] = Ar[R][Kc];
+        const double *__restrict__ Br = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J) {
+          const double Bv = Br[J];
+          for (int R = 0; R < 4; ++R)
+            Cr[R][J] += Av[R] * Bv;
+        }
+      }
+    }
+    // Leftover rows (M % 4, and the small-M matmuls propagation issues for
+    // region coefficient blocks): still k-unrolled by 4 so each C element
+    // is loaded and stored once per 4 k-steps.
+    for (; I < IEnd; ++I) {
+      const double *__restrict__ Arow = Ad + I * K;
+      double *__restrict__ Crow = Cd + I * N;
+      int64_t Kc = Kk;
+      for (; Kc + 4 <= KEnd; Kc += 4) {
+        const double Av0 = Arow[Kc], Av1 = Arow[Kc + 1], Av2 = Arow[Kc + 2],
+                     Av3 = Arow[Kc + 3];
+        const double *__restrict__ Br = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J) {
+          double Acc = Crow[J];
+          Acc += Av0 * Br[J];
+          Acc += Av1 * Br[N + J];
+          Acc += Av2 * Br[2 * N + J];
+          Acc += Av3 * Br[3 * N + J];
+          Crow[J] = Acc;
+        }
+      }
+      for (; Kc < KEnd; ++Kc) {
+        const double Av = Arow[Kc];
+        const double *__restrict__ Brow = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J)
+          Crow[J] += Av * Brow[J];
+      }
+    }
+  }
+}
+
+/// Same streaming structure for C[IBegin..IEnd) += A^T * B with A [K,M]:
+/// the A operand is read column-wise (stride M) instead of row-wise.
+/// Reorganized from the old k-outer form (which a row-parallel split
+/// would race on) to i-block-parallel; per C element the accumulation is
+/// still ascending-k.
+__attribute__((always_inline)) inline void
+gemmRows4TransABody(const double *__restrict__ Ad,
+                    const double *__restrict__ Bd, double *__restrict__ Cd,
+                    int64_t IBegin, int64_t IEnd, int64_t K, int64_t M,
+                    int64_t N) {
+  for (int64_t Kk = 0; Kk < K; Kk += GemmTileK) {
+    const int64_t KEnd = std::min(K, Kk + GemmTileK);
+    int64_t I = IBegin;
+    for (; I + 4 <= IEnd; I += 4) {
+      double *__restrict__ Cr[4];
+      for (int R = 0; R < 4; ++R)
+        Cr[R] = Cd + (I + R) * N;
+      int64_t Kc = Kk;
+      for (; Kc + 4 <= KEnd; Kc += 4) {
+        double Av[4][4];
+        for (int U = 0; U < 4; ++U)
+          for (int R = 0; R < 4; ++R)
+            Av[R][U] = Ad[(Kc + U) * M + I + R];
+        const double *__restrict__ Br = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J) {
+          double Bv[4];
+          for (int U = 0; U < 4; ++U)
+            Bv[U] = Br[U * N + J];
+          for (int R = 0; R < 4; ++R) {
+            double Acc = Cr[R][J];
+            for (int U = 0; U < 4; ++U)
+              Acc += Av[R][U] * Bv[U];
+            Cr[R][J] = Acc;
+          }
+        }
+      }
+      for (; Kc < KEnd; ++Kc) {
+        const double *__restrict__ Acol = Ad + Kc * M + I;
+        double Av[4];
+        for (int R = 0; R < 4; ++R)
+          Av[R] = Acol[R];
+        const double *__restrict__ Br = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J) {
+          const double Bv = Br[J];
+          for (int R = 0; R < 4; ++R)
+            Cr[R][J] += Av[R] * Bv;
+        }
+      }
+    }
+    for (; I < IEnd; ++I) {
+      double *__restrict__ Crow = Cd + I * N;
+      int64_t Kc = Kk;
+      for (; Kc + 4 <= KEnd; Kc += 4) {
+        const double Av0 = Ad[Kc * M + I], Av1 = Ad[(Kc + 1) * M + I],
+                     Av2 = Ad[(Kc + 2) * M + I], Av3 = Ad[(Kc + 3) * M + I];
+        const double *__restrict__ Br = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J) {
+          double Acc = Crow[J];
+          Acc += Av0 * Br[J];
+          Acc += Av1 * Br[N + J];
+          Acc += Av2 * Br[2 * N + J];
+          Acc += Av3 * Br[3 * N + J];
+          Crow[J] = Acc;
+        }
+      }
+      for (; Kc < KEnd; ++Kc) {
+        const double Av = Ad[Kc * M + I];
+        const double *__restrict__ Brow = Bd + Kc * N;
+        for (int64_t J = 0; J < N; ++J)
+          Crow[J] += Av * Brow[J];
+      }
+    }
+  }
+}
+
+// The GEMM body is compiled twice — once for the build's baseline ISA and
+// once for AVX-512 — and dispatched per-call on cpuid. Both variants pin
+// fp-contract=off: FMA contraction (GCC's default at -O3 when the ISA has
+// fused multiply-add) would drop the intermediate rounding and break the
+// bit-for-bit match with the scalar reference, which the determinism
+// contract (ISSUE 4) requires across thread counts AND ISA paths.
+#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
+#define GENPROVE_GEMM_MULTIVERSION 1
+#else
+#define GENPROVE_GEMM_MULTIVERSION 0
+#endif
+
+__attribute__((optimize("fp-contract=off"))) void
+gemmRowBlockPlain(const double *Ad, const double *Bd, double *Cd,
+                  int64_t IBegin, int64_t IEnd, int64_t K, int64_t N) {
+  gemmRows4Body(Ad, Bd, Cd, IBegin, IEnd, K, N);
+}
+
+__attribute__((optimize("fp-contract=off"))) void
+gemmTransARowBlockPlain(const double *Ad, const double *Bd, double *Cd,
+                        int64_t IBegin, int64_t IEnd, int64_t K, int64_t M,
+                        int64_t N) {
+  gemmRows4TransABody(Ad, Bd, Cd, IBegin, IEnd, K, M, N);
+}
+
+#if GENPROVE_GEMM_MULTIVERSION
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+gemmRowBlockAvx512(const double *Ad, const double *Bd, double *Cd,
+                   int64_t IBegin, int64_t IEnd, int64_t K, int64_t N) {
+  gemmRows4Body(Ad, Bd, Cd, IBegin, IEnd, K, N);
+}
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+gemmTransARowBlockAvx512(const double *Ad, const double *Bd, double *Cd,
+                         int64_t IBegin, int64_t IEnd, int64_t K, int64_t M,
+                         int64_t N) {
+  gemmRows4TransABody(Ad, Bd, Cd, IBegin, IEnd, K, M, N);
+}
+
+#endif // GENPROVE_GEMM_MULTIVERSION
+
+/// True when the AVX-512 clones should run: checked once, overridable with
+/// GENPROVE_NO_AVX512=1 so the portable path stays testable on wide
+/// machines (CI exercises both).
+bool useAvx512() {
+#if GENPROVE_GEMM_MULTIVERSION
+  static const bool Use = __builtin_cpu_supports("avx512f") &&
+                          std::getenv("GENPROVE_NO_AVX512") == nullptr;
+  return Use;
+#else
+  return false;
+#endif
+}
+
+void gemmRowBlock(const double *Ad, const double *Bd, double *Cd,
+                  int64_t IBegin, int64_t IEnd, int64_t K, int64_t N) {
+#if GENPROVE_GEMM_MULTIVERSION
+  if (useAvx512())
+    return gemmRowBlockAvx512(Ad, Bd, Cd, IBegin, IEnd, K, N);
+#endif
+  gemmRowBlockPlain(Ad, Bd, Cd, IBegin, IEnd, K, N);
+}
+
+void gemmTransARowBlock(const double *Ad, const double *Bd, double *Cd,
+                        int64_t IBegin, int64_t IEnd, int64_t K, int64_t M,
+                        int64_t N) {
+#if GENPROVE_GEMM_MULTIVERSION
+  if (useAvx512())
+    return gemmTransARowBlockAvx512(Ad, Bd, Cd, IBegin, IEnd, K, M, N);
+#endif
+  gemmTransARowBlockPlain(Ad, Bd, Cd, IBegin, IEnd, K, M, N);
+}
+
+/// Chunk grain for the 4-row-blocked GEMMs: the default grain would hand
+/// out 1-2 row chunks for small M and starve the 4-row fast path (row
+/// partitioning can't change FP results — every C element lives in
+/// exactly one row — so the grain is a pure perf knob here, still a pure
+/// function of M for reproducible chunking).
+int64_t gemmGrain(int64_t M) {
+  const int64_t Grain = (ThreadPool::defaultGrain(M) + 3) / 4 * 4;
+  return std::max<int64_t>(4, Grain);
+}
+
+/// C[IBegin..IEnd) = A * B^T rows for A [M,K], B [N,K]: dot products,
+/// 4-way unrolled over j so each A row pass feeds four accumulators.
+void gemmTransBRowBlock(const double *Ad, const double *Bd, double *Cd,
+                        int64_t IBegin, int64_t IEnd, int64_t K, int64_t N) {
+  for (int64_t I = IBegin; I < IEnd; ++I) {
+    const double *Arow = Ad + I * K;
+    double *Crow = Cd + I * N;
+    int64_t J = 0;
+    for (; J + 4 <= N; J += 4) {
+      const double *B0 = Bd + J * K, *B1 = B0 + K, *B2 = B1 + K, *B3 = B2 + K;
+      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+      for (int64_t Kk = 0; Kk < K; ++Kk) {
+        const double Av = Arow[Kk];
+        S0 += Av * B0[Kk];
+        S1 += Av * B1[Kk];
+        S2 += Av * B2[Kk];
+        S3 += Av * B3[Kk];
+      }
+      Crow[J] = S0;
+      Crow[J + 1] = S1;
+      Crow[J + 2] = S2;
+      Crow[J + 3] = S3;
+    }
+    for (; J < N; ++J) {
+      const double *Brow = Bd + J * K;
+      double Acc = 0.0;
+      for (int64_t Kk = 0; Kk < K; ++Kk)
+        Acc += Arow[Kk] * Brow[Kk];
+      Crow[J] = Acc;
+    }
+  }
+}
+
+} // namespace
 
 Tensor matmul(const Tensor &A, const Tensor &B) {
   check(A.rank() == 2 && B.rank() == 2, "matmul requires rank-2 tensors");
@@ -15,18 +309,9 @@ Tensor matmul(const Tensor &A, const Tensor &B) {
   const double *Ad = A.data();
   const double *Bd = B.data();
   double *Cd = C.data();
-  for (int64_t I = 0; I < M; ++I) {
-    const double *Arow = Ad + I * K;
-    double *Crow = Cd + I * N;
-    for (int64_t Kk = 0; Kk < K; ++Kk) {
-      const double Aik = Arow[Kk];
-      if (Aik == 0.0)
-        continue;
-      const double *Brow = Bd + Kk * N;
-      for (int64_t J = 0; J < N; ++J)
-        Crow[J] += Aik * Brow[J];
-    }
-  }
+  parallelFor(M, gemmGrain(M), [&](int64_t IBegin, int64_t IEnd) {
+    gemmRowBlock(Ad, Bd, Cd, IBegin, IEnd, K, N);
+  });
   return C;
 }
 
@@ -38,18 +323,9 @@ Tensor matmulTransA(const Tensor &A, const Tensor &B) {
   const double *Ad = A.data();
   const double *Bd = B.data();
   double *Cd = C.data();
-  for (int64_t Kk = 0; Kk < K; ++Kk) {
-    const double *Arow = Ad + Kk * M;
-    const double *Brow = Bd + Kk * N;
-    for (int64_t I = 0; I < M; ++I) {
-      const double Aki = Arow[I];
-      if (Aki == 0.0)
-        continue;
-      double *Crow = Cd + I * N;
-      for (int64_t J = 0; J < N; ++J)
-        Crow[J] += Aki * Brow[J];
-    }
-  }
+  parallelFor(M, gemmGrain(M), [&](int64_t IBegin, int64_t IEnd) {
+    gemmTransARowBlock(Ad, Bd, Cd, IBegin, IEnd, K, M, N);
+  });
   return C;
 }
 
@@ -61,17 +337,9 @@ Tensor matmulTransB(const Tensor &A, const Tensor &B) {
   const double *Ad = A.data();
   const double *Bd = B.data();
   double *Cd = C.data();
-  for (int64_t I = 0; I < M; ++I) {
-    const double *Arow = Ad + I * K;
-    double *Crow = Cd + I * N;
-    for (int64_t J = 0; J < N; ++J) {
-      const double *Brow = Bd + J * K;
-      double Acc = 0.0;
-      for (int64_t Kk = 0; Kk < K; ++Kk)
-        Acc += Arow[Kk] * Brow[Kk];
-      Crow[J] = Acc;
-    }
-  }
+  parallelFor(M, [&](int64_t IBegin, int64_t IEnd) {
+    gemmTransBRowBlock(Ad, Bd, Cd, IBegin, IEnd, K, N);
+  });
   return C;
 }
 
@@ -159,23 +427,28 @@ Tensor conv2dImpl(const Tensor &Input, const Tensor &Weight,
     WeightMat = AbsW;
   }
 
+  // Samples are independent: parallelize over the batch with one im2col
+  // scratch buffer per chunk. For a single sample the per-sample GEMM
+  // fans out over its output-channel rows instead.
   Tensor Output({N, OC, OH, OW});
-  Tensor Col({KSize, OH * OW});
-  for (int64_t Sample = 0; Sample < N; ++Sample) {
-    im2col(Input.data() + Sample * C * H * W, C, H, W, Geom, Col.data());
-    Tensor Out = matmul(WeightMat, Col); // [OC, OH*OW]
-    double *Dst = Output.data() + Sample * OC * OH * OW;
-    const double *Src = Out.data();
-    if (Bias.numel() == OC && !UseAbs) {
-      for (int64_t Oc = 0; Oc < OC; ++Oc) {
-        const double B = Bias[Oc];
-        for (int64_t P = 0; P < OH * OW; ++P)
-          Dst[Oc * OH * OW + P] = Src[Oc * OH * OW + P] + B;
+  parallelFor(N, 1, [&](int64_t SBegin, int64_t SEnd) {
+    Tensor Col({KSize, OH * OW});
+    for (int64_t Sample = SBegin; Sample < SEnd; ++Sample) {
+      im2col(Input.data() + Sample * C * H * W, C, H, W, Geom, Col.data());
+      Tensor Out = matmul(WeightMat, Col); // [OC, OH*OW]
+      double *Dst = Output.data() + Sample * OC * OH * OW;
+      const double *Src = Out.data();
+      if (Bias.numel() == OC && !UseAbs) {
+        for (int64_t Oc = 0; Oc < OC; ++Oc) {
+          const double B = Bias[Oc];
+          for (int64_t P = 0; P < OH * OW; ++P)
+            Dst[Oc * OH * OW + P] = Src[Oc * OH * OW + P] + B;
+        }
+      } else {
+        std::copy(Src, Src + OC * OH * OW, Dst);
       }
-    } else {
-      std::copy(Src, Src + OC * OH * OW, Dst);
     }
-  }
+  });
   return Output;
 }
 
@@ -249,8 +522,13 @@ Tensor convTranspose2dImpl(const Tensor &Input, const Tensor &Weight,
           Output.data()[(Sample * OC + Oc) * OH * OW + P] = Bias[Oc];
   }
 
+  // Scatter per sample into disjoint output slices; samples parallelize.
+  // The zero-input skip stays: conv-transpose inputs are post-ReLU
+  // activations, which are genuinely sparse (unlike the dense GEMM paths,
+  // whose zero-skip branch was removed).
   const double *Wd = Weight.data();
-  for (int64_t Sample = 0; Sample < N; ++Sample) {
+  parallelFor(N, 1, [&](int64_t SBegin, int64_t SEnd) {
+  for (int64_t Sample = SBegin; Sample < SEnd; ++Sample) {
     const double *In = Input.data() + Sample * C * H * W;
     double *Out = Output.data() + Sample * OC * OH * OW;
     for (int64_t Ic = 0; Ic < C; ++Ic) {
@@ -281,6 +559,7 @@ Tensor convTranspose2dImpl(const Tensor &Input, const Tensor &Weight,
       }
     }
   }
+  });
   return Output;
 }
 
@@ -354,15 +633,22 @@ Tensor convTranspose2dBackward(const Tensor &Input, const Tensor &Weight,
 
 Tensor relu(const Tensor &Input) {
   Tensor Out = Input.clone();
-  for (int64_t I = 0; I < Out.numel(); ++I)
-    Out[I] = std::max(0.0, Out[I]);
+  double *D = Out.data();
+  parallelFor(Out.numel(), [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      D[I] = std::max(0.0, D[I]);
+  });
   return Out;
 }
 
 Tensor reluMask(const Tensor &Input) {
   Tensor Out(Input.shape());
-  for (int64_t I = 0; I < Input.numel(); ++I)
-    Out[I] = Input[I] > 0.0 ? 1.0 : 0.0;
+  const double *In = Input.data();
+  double *D = Out.data();
+  parallelFor(Input.numel(), [&](int64_t Begin, int64_t End) {
+    for (int64_t I = Begin; I < End; ++I)
+      D[I] = In[I] > 0.0 ? 1.0 : 0.0;
+  });
   return Out;
 }
 

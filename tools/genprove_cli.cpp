@@ -7,9 +7,10 @@
 //                --input-shape 1x8
 //                --start start.txt --end end.txt
 //                --spec argmax:0:10 | sign:3:+:40 | halfspace:0.5:-1
+//                [--spec ... more endpoints, bounded concurrently]
 //                [--p 0.02] [--k 100] [--threshold 250]
 //                [--budget-mb 240] [--deterministic] [--arcsine]
-//                [--splits N] [--schedule A|B]
+//                [--splits N] [--schedule A|B] [--threads N]
 //                [--resilient] [--deadline-ms D]
 //                [--report] [--trace-out FILE.json] [--metrics-out FILE.json]
 //
@@ -34,6 +35,7 @@
 #include "src/nn/serialize.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/parallel/thread_pool.h"
 #include "src/util/table.h"
 
 #include <algorithm>
@@ -58,12 +60,21 @@ namespace {
       "                    --input-shape 1x8 --start A.txt --end B.txt\n"
       "                    --spec argmax:T:N | sign:I:+|-:N | "
       "halfspace:C:g0,g1,...\n"
+      "                    [--spec ...]  (repeatable; the segment is\n"
+      "                    propagated once, each endpoint is bounded\n"
+      "                    against it concurrently)\n"
       "                    [--p P] [--k K] [--threshold T] [--budget-mb M]\n"
       "                    [--deterministic] [--arcsine] [--splits N]\n"
-      "                    [--schedule A|B]\n"
+      "                    [--schedule A|B] [--threads N]\n"
       "                    [--resilient] [--deadline-ms D]\n"
       "                    [--report] [--trace-out FILE.json]\n"
       "                    [--metrics-out FILE.json]\n"
+      "\n"
+      "parallelism:\n"
+      "  --threads N         size of the shared worker pool (default: the\n"
+      "                      GENPROVE_THREADS env var, else the hardware\n"
+      "                      concurrency; 1 = fully serial). Results are\n"
+      "                      bit-identical for every thread count.\n"
       "\n"
       "resilience:\n"
       "  --resilient         never fail: on OOM roll back to the last layer\n"
@@ -224,7 +235,8 @@ void printLayerReport(const std::vector<LayerRecord> &Layers) {
 
 int main(int Argc, char **Argv) {
   std::vector<std::string> NetPaths;
-  std::string StartPath, EndPath, ShapeText, SpecText;
+  std::vector<std::string> SpecTexts;
+  std::string StartPath, EndPath, ShapeText;
   std::string TraceOutPath, MetricsOutPath;
   bool Report = false;
   GenProveConfig Config;
@@ -248,7 +260,9 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--end")
       EndPath = Next();
     else if (Arg == "--spec")
-      SpecText = Next();
+      SpecTexts.push_back(Next());
+    else if (Arg == "--threads")
+      ThreadPool::global().setThreads(std::stoll(Next()));
     else if (Arg == "--p")
       Config.RelaxPercent = std::stod(Next());
     else if (Arg == "--k")
@@ -295,7 +309,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (NetPaths.empty() || StartPath.empty() || EndPath.empty() ||
-      ShapeText.empty() || SpecText.empty())
+      ShapeText.empty() || SpecTexts.empty())
     usage("--net, --input-shape, --start, --end and --spec are required");
 
   // The fault-injection harness lives for the whole analysis; a skewed
@@ -354,19 +368,35 @@ int main(int Argc, char **Argv) {
                  InputShape.toString().c_str());
     return 2;
   }
-  const OutputSpec Spec = parseSpec(SpecText);
+  std::vector<OutputSpec> Specs;
+  for (const std::string &Text : SpecTexts)
+    Specs.push_back(parseSpec(Text));
 
+  // The expensive propagation happens once; every --spec endpoint is then
+  // bounded against the shared state concurrently. boundsFor only reads
+  // the state, and results land in per-spec slots, so the printed order
+  // (and every digit) matches the serial run.
   const GenProve Analyzer(Config);
-  AnalysisResult Result;
+  PropagatedState State;
   {
     GENPROVE_SPAN("analyze");
-    Result = Analyzer.analyzeSegment(Pipeline, InputShape, Start, End, Spec);
+    State = Analyzer.propagateSegment(Pipeline, InputShape, Start, End);
+  }
+  const int64_t NumSpecs = static_cast<int64_t>(Specs.size());
+  std::vector<ProbBounds> AllBounds(Specs.size());
+  {
+    GENPROVE_SPAN("bound_specs");
+    parallelFor(NumSpecs, 1, [&](int64_t Begin, int64_t End_) {
+      for (int64_t I = Begin; I < End_; ++I)
+        AllBounds[static_cast<size_t>(I)] =
+            Analyzer.boundsFor(State, Specs[static_cast<size_t>(I)]);
+    });
   }
 
   // Emit the observability artifacts even on OOM — a failing run is
   // exactly when the per-layer timeline matters.
-  if (Report && !Result.Layers.empty())
-    printLayerReport(Result.Layers);
+  if (Report && !State.Stats.Layers.empty())
+    printLayerReport(State.Stats.Layers);
   if (!TraceOutPath.empty() &&
       !TraceSession::global().writeChromeTrace(TraceOutPath))
     std::fprintf(stderr, "genprove_cli: cannot write trace to %s\n",
@@ -376,40 +406,51 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "genprove_cli: cannot write metrics to %s\n",
                  MetricsOutPath.c_str());
 
-  if (Result.OutOfMemory) {
+  if (State.OutOfMemory) {
     std::printf("result: OUT OF MEMORY (budget %s; try --p, --schedule or "
                 "--splits)\n",
                 formatBytes(Config.MemoryBudgetBytes).c_str());
     return 3;
   }
-  const bool Degraded = Result.Bounds.Degraded || Result.Degraded;
-  std::printf("bounds:  [%.6f, %.6f]  width %s\n", Result.Bounds.Lower,
-              Result.Bounds.Upper, formatBound(Result.Bounds.width()).c_str());
-  if (Config.Mode == AnalysisMode::Deterministic) {
-    const char *Verdict = Result.Bounds.Lower >= 1.0   ? "HOLDS"
-                          : Result.Bounds.Upper <= 0.0 ? "NEVER HOLDS"
-                                                       : "UNKNOWN";
-    std::printf("verdict: %s%s\n", Verdict, Degraded ? " (DEGRADED)" : "");
-  } else if (Degraded) {
-    std::printf("verdict: DEGRADED; holds with probability in [%.6f, %.6f]\n",
-                Result.Bounds.Lower, Result.Bounds.Upper);
-  } else {
-    std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
-                Result.Bounds.Lower, Result.Bounds.Upper);
+  bool Degraded = State.Degraded;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const ProbBounds &Bounds = AllBounds[I];
+    Degraded = Degraded || Bounds.Degraded;
+    // With several endpoints, prefix each block with its spec text.
+    if (Specs.size() > 1)
+      std::printf("spec:    %s\n", SpecTexts[I].c_str());
+    std::printf("bounds:  [%.6f, %.6f]  width %s\n", Bounds.Lower,
+                Bounds.Upper, formatBound(Bounds.width()).c_str());
+    if (Config.Mode == AnalysisMode::Deterministic) {
+      const char *Verdict = Bounds.Lower >= 1.0   ? "HOLDS"
+                            : Bounds.Upper <= 0.0 ? "NEVER HOLDS"
+                                                  : "UNKNOWN";
+      std::printf("verdict: %s%s\n", Verdict,
+                  Bounds.Degraded || State.Degraded ? " (DEGRADED)" : "");
+    } else if (Bounds.Degraded || State.Degraded) {
+      std::printf("verdict: DEGRADED; holds with probability in "
+                  "[%.6f, %.6f]\n",
+                  Bounds.Lower, Bounds.Upper);
+    } else {
+      std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
+                  Bounds.Lower, Bounds.Upper);
+    }
   }
   std::printf("stats:   %.2fs, %lld regions peak, %lld nodes peak, %s "
               "device memory, %lld retries\n",
-              Result.Seconds, static_cast<long long>(Result.MaxRegions),
-              static_cast<long long>(Result.MaxNodes),
-              formatBytes(Result.PeakBytes).c_str(),
-              static_cast<long long>(Result.Retries));
+              State.Seconds,
+              static_cast<long long>(State.Stats.MaxRegions),
+              static_cast<long long>(State.Stats.MaxNodes),
+              formatBytes(State.PeakBytes).c_str(),
+              static_cast<long long>(State.Retries));
   if (Degraded) {
     std::printf("degrade: rung %s, %lld rollbacks, %lld fallback-box layers, "
                 "deadline %s, quarantined mass %.6f\n",
-                degradeRungName(Result.Rung),
-                static_cast<long long>(Result.Rollbacks),
-                static_cast<long long>(Result.FallbackBoxLayers),
-                Result.DeadlineHit ? "hit" : "met", Result.QuarantinedMass);
+                degradeRungName(State.Stats.Rung),
+                static_cast<long long>(State.Stats.Rollbacks),
+                static_cast<long long>(State.Stats.FallbackBoxLayers),
+                State.Stats.DeadlineHit ? "hit" : "met",
+                State.Stats.QuarantinedMass);
     return 4; // sound but degraded — distinct from success and from OOM.
   }
   return 0;
