@@ -2,6 +2,8 @@
 
 #include "src/core/consistency.h"
 
+#include "src/util/error.h"
+
 #include <algorithm>
 #include <map>
 
@@ -16,6 +18,12 @@ std::vector<SpecPair> sameClassPairs(const Dataset &Set, int64_t NumPairs,
   for (const auto &[Label, Members] : ByClass)
     if (Members.size() >= 2)
       Usable.push_back(Label);
+  // A degenerate dataset (every class a singleton) would silently yield an
+  // empty pair list and downstream consistency rates over zero pairs; fail
+  // loudly instead.
+  if (NumPairs > 0 && Usable.empty())
+    fatalError("sameClassPairs: no class has two or more images; cannot "
+               "sample same-class pairs from this dataset");
   std::vector<SpecPair> Pairs;
   while (static_cast<int64_t>(Pairs.size()) < NumPairs && !Usable.empty()) {
     const int64_t Label = Usable[Generator.below(Usable.size())];
@@ -45,6 +53,9 @@ std::vector<SpecPair> sameAttributePairs(const Dataset &Set, int64_t NumPairs,
   for (const auto &[Key, Members] : Buckets)
     if (Members.size() >= 2)
       Usable.push_back(&Members);
+  if (NumPairs > 0 && Usable.empty())
+    fatalError("sameAttributePairs: every attribute signature is unique; "
+               "cannot sample same-attribute pairs from this dataset");
   std::vector<SpecPair> Pairs;
   while (static_cast<int64_t>(Pairs.size()) < NumPairs && !Usable.empty()) {
     const auto &Members = *Usable[Generator.below(Usable.size())];

@@ -5,6 +5,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/ops.h"
+#include "src/util/fp.h"
 #include "src/util/timer.h"
 
 #include <algorithm>
@@ -198,8 +199,13 @@ ProbBounds GenProve::boundsFor(const PropagatedState &State,
   // Quarantined (non-finite) regions could have landed anywhere, so their
   // mass must be added to the upper bound; the lower bound, computed from
   // the surviving mass only, is already sound.
-  if (State.Stats.QuarantinedMass > 0.0)
-    Bounds.Upper = std::min(1.0, Bounds.Upper + State.Stats.QuarantinedMass);
+  if (State.Stats.QuarantinedMass > 0.0) {
+    const double Raised =
+        soundRoundingEnabled()
+            ? fp::addUp(Bounds.Upper, State.Stats.QuarantinedMass)
+            : Bounds.Upper + State.Stats.QuarantinedMass;
+    Bounds.Upper = std::min(1.0, Raised);
+  }
   Bounds.Degraded = State.Degraded;
   if (Config.Mode == AnalysisMode::Deterministic)
     Bounds = Bounds.deterministic();

@@ -112,6 +112,15 @@ ProbBounds computeProbBounds(const std::vector<Region> &Regions,
 double curveMassInside(const Region &Curve, const OutputSpec &Spec,
                        const std::function<double(double)> &Cdf = {});
 
+/// Directed enclosure [MassLo, MassHi] of the curve mass inside D, used in
+/// place of curveMassInside when SoundRounding is enabled: pieces are
+/// shrunk by a few ULPs before pointwise sign certification, CDF values
+/// are padded outward, and ratios are rounded directionally (see
+/// docs/SOUNDNESS.md).
+void curveMassInsideBounds(const Region &Curve, const OutputSpec &Spec,
+                           const std::function<double(double)> &Cdf,
+                           double &MassLo, double &MassHi);
+
 } // namespace genprove
 
 #endif // GENPROVE_CORE_SPEC_H

@@ -3,6 +3,7 @@
 #include "src/domains/box_domain.h"
 
 #include "src/domains/propagate.h"
+#include "src/util/fp.h"
 
 #include <algorithm>
 #include <cmath>
@@ -16,9 +17,24 @@ analyzeBoxMulti(const std::vector<const Layer *> &Layers,
                 DeviceMemoryModel &Memory) {
   const int64_t N = Start.numel();
   Tensor Center({1, N}), Radius({1, N});
+  const bool Sound = soundRoundingEnabled();
   for (int64_t J = 0; J < N; ++J) {
-    Center[J] = 0.5 * (Start[J] + End[J]);
-    Radius[J] = 0.5 * std::fabs(End[J] - Start[J]);
+    if (Sound) {
+      // The box must cover the exact segment AND any round-to-nearest
+      // evaluation of a point on it (s + t*(e-s) computed in doubles can
+      // overshoot the endpoint hull by a few ULPs), hence the small
+      // magnitude-proportional pad.
+      const Interval Hull{std::min(Start[J], End[J]),
+                          std::max(Start[J], End[J])};
+      Hull.toCenterRadius(Center[J], Radius[J]);
+      const double Pad = fp::mulUp(
+          8.0 * DBL_EPSILON,
+          fp::addUp(std::fabs(Start[J]), std::fabs(End[J])));
+      Radius[J] = fp::addUp(Radius[J], Pad);
+    } else {
+      Center[J] = 0.5 * (Start[J] + End[J]);
+      Radius[J] = 0.5 * std::fabs(End[J] - Start[J]);
+    }
   }
   std::vector<Region> Init;
   Init.push_back(makeBoxRegion(Center, Radius, 1.0));

@@ -2,6 +2,8 @@
 
 #include "src/domains/hybrid_zonotope.h"
 
+#include "src/util/fp.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -20,6 +22,139 @@ Tensor flattenRows(const Tensor &Acts) {
   return Acts.reshaped({K, Acts.numel() / std::max<int64_t>(K, 1)});
 }
 
+struct HybridState {
+  Tensor Center; ///< [1, N]
+  Tensor Gens;   ///< [G, N] (fixed row count)
+  Tensor Slack;  ///< [1, N] per-dimension box error
+};
+
+/// Propagate the segment; returns false on OOM. Telemetry lands in Result.
+bool propagateHybrid(const std::vector<const Layer *> &Layers,
+                     const Shape &InputShape, const Tensor &Start,
+                     const Tensor &End, DeviceMemoryModel &Memory,
+                     HybridState &St, ConvexResult &Result) {
+  const bool Sound = soundRoundingEnabled();
+  const int64_t N = Start.numel();
+  St.Center = Tensor({1, N});
+  St.Gens = Tensor({1, N});
+  St.Slack = Tensor({1, N});
+  for (int64_t J = 0; J < N; ++J) {
+    St.Center[J] = 0.5 * (Start[J] + End[J]);
+    St.Gens.at(0, J) = 0.5 * (End[J] - Start[J]);
+    if (Sound)
+      // Rounded endpoint representation + double-evaluated segment points.
+      St.Slack[J] = fp::mulUp(
+          8.0 * DBL_EPSILON,
+          fp::addUp(std::fabs(Start[J]), std::fabs(End[J])));
+  }
+
+  Shape CurShape = InputShape;
+  auto Charge = [&]() {
+    Result.MaxGenerators = std::max(Result.MaxGenerators, St.Gens.dim(0));
+    const bool Ok = Memory.chargeState(St.Gens.dim(0) + 2, CurShape.numel());
+    Result.PeakBytes = Memory.peakBytes();
+    return Ok;
+  };
+  if (!Charge())
+    return false;
+
+  for (const Layer *L : Layers) {
+    if (L->isAffine()) {
+      // Sound mode: bound |x| <= |c| + sum|g| + slack before the map, so
+      // the rounding error of every round-to-nearest kernel below can be
+      // charged to the slack afterward.
+      Tensor Mag;
+      Tensor BiasImage;
+      if (Sound) {
+        Mag = Tensor({1, St.Center.numel()});
+        for (int64_t J = 0; J < St.Center.numel(); ++J) {
+          double Acc = fp::addUp(std::fabs(St.Center[J]), St.Slack[J]);
+          for (int64_t Row = 0; Row < St.Gens.dim(0); ++Row)
+            Acc = fp::addUp(Acc, std::fabs(St.Gens.at(Row, J)));
+          Mag[J] = Acc;
+        }
+        BiasImage = Tensor({1, St.Center.numel()});
+        Tensor BiasActs = reshapeRows(BiasImage, CurShape);
+        Tensor MagActs = reshapeRows(Mag, CurShape);
+        L->applyToBox(BiasActs, MagActs);
+        BiasImage = flattenRows(BiasActs);
+        Mag = flattenRows(MagActs);
+      }
+
+      // Slack propagates like a box radius; reuse applyToBox with a dummy
+      // center so the bias does not leak into the slack.
+      Tensor SlackCenter = St.Center.clone();
+      Tensor SlackActs = reshapeRows(St.Slack, CurShape);
+      Tensor CenterActs = reshapeRows(SlackCenter, CurShape);
+      L->applyToBox(CenterActs, SlackActs);
+      St.Center = flattenRows(CenterActs);
+      St.Slack = flattenRows(SlackActs);
+      St.Gens = flattenRows(L->applyLinear(reshapeRows(St.Gens, CurShape)));
+      CurShape = L->outputShape(CurShape);
+
+      if (Sound) {
+        const double Gamma = fp::accumulationBound(L->accumulationDepth());
+        for (int64_t J = 0; J < St.Slack.numel(); ++J)
+          St.Slack[J] = fp::addUp(
+              St.Slack[J],
+              fp::mulUp(Gamma,
+                        fp::addUp(Mag[J], std::fabs(BiasImage[J]))));
+      }
+    } else {
+      const int64_t Dim = St.Center.numel();
+      const int64_t G = St.Gens.dim(0);
+      for (int64_t J = 0; J < Dim; ++J) {
+        double Spread = St.Slack[J];
+        for (int64_t Row = 0; Row < G; ++Row) {
+          const double A = std::fabs(St.Gens.at(Row, J));
+          Spread = Sound ? fp::addUp(Spread, A) : Spread + A;
+        }
+        const double Lo = Sound ? fp::subDown(St.Center[J], Spread)
+                                : St.Center[J] - Spread;
+        const double Hi = Sound ? fp::addUp(St.Center[J], Spread)
+                                : St.Center[J] + Spread;
+        if (Hi <= 0.0) {
+          St.Center[J] = 0.0;
+          St.Slack[J] = 0.0;
+          for (int64_t Row = 0; Row < G; ++Row)
+            St.Gens.at(Row, J) = 0.0;
+        } else if (Lo < 0.0) {
+          const double Lambda = Hi / (Hi - Lo);
+          const double Mu = -Lambda * Lo / 2.0;
+          if (Sound) {
+            // Same argument as the DeepZono transformer: the relaxation
+            // with exact lambda*/mu* of this outward [Lo, Hi] is sound,
+            // and the few-ULP deviation of the computed lambda/mu plus
+            // the rescaling rounding goes into the slack (which also
+            // swallows mu itself — that is the hybrid trade).
+            const double M = std::max(std::fabs(Lo), Hi);
+            const double SumG = fp::subUp(Spread, St.Slack[J]);
+            const double Inner = fp::addUp(
+                std::fabs(Mu),
+                fp::mulUp(Lambda,
+                          fp::addUp(M, fp::addUp(std::fabs(St.Center[J]),
+                                                 SumG))));
+            const double LambdaUp =
+                fp::mulUp(Lambda, 1.0 + 8.0 * DBL_EPSILON);
+            St.Slack[J] =
+                fp::addUp(fp::addUp(fp::mulUp(LambdaUp, St.Slack[J]),
+                                    fp::up(Mu)),
+                          fp::mulUp(16.0 * DBL_EPSILON, Inner));
+          } else {
+            St.Slack[J] = Lambda * St.Slack[J] + Mu;
+          }
+          St.Center[J] = Lambda * St.Center[J] + Mu;
+          for (int64_t Row = 0; Row < G; ++Row)
+            St.Gens.at(Row, J) *= Lambda;
+        }
+      }
+    }
+    if (!Charge())
+      return false;
+  }
+  return true;
+}
+
 } // namespace
 
 std::vector<ConvexResult> analyzeHybridZonotopeMulti(
@@ -27,91 +162,60 @@ std::vector<ConvexResult> analyzeHybridZonotopeMulti(
     const Tensor &Start, const Tensor &End,
     const std::vector<OutputSpec> &Specs, DeviceMemoryModel &Memory) {
   ConvexResult Result;
-  const int64_t N = Start.numel();
-  Tensor Center({1, N});
-  Tensor Gens({1, N});
-  Tensor Slack({1, N}); // per-dimension box error
-  for (int64_t J = 0; J < N; ++J) {
-    Center[J] = 0.5 * (Start[J] + End[J]);
-    Gens.at(0, J) = 0.5 * (End[J] - Start[J]);
-  }
-
-  Shape CurShape = InputShape;
-  auto Charge = [&]() {
-    Result.MaxGenerators = std::max(Result.MaxGenerators, Gens.dim(0));
-    const bool Ok = Memory.chargeState(Gens.dim(0) + 2, CurShape.numel());
-    Result.PeakBytes = Memory.peakBytes();
-    return Ok;
-  };
-  auto OomResults = [&]() {
+  HybridState St;
+  if (!propagateHybrid(Layers, InputShape, Start, End, Memory, St, Result)) {
     Result.Bounds = {0.0, 1.0, true};
     return std::vector<ConvexResult>(Specs.size(), Result);
-  };
-  if (!Charge())
-    return OomResults();
-
-  for (const Layer *L : Layers) {
-    if (L->isAffine()) {
-      // Slack propagates like a box radius; reuse applyToBox with a dummy
-      // center so the bias does not leak into the slack.
-      Tensor SlackCenter = Center.clone();
-      Tensor SlackActs = reshapeRows(Slack, CurShape);
-      Tensor CenterActs = reshapeRows(SlackCenter, CurShape);
-      L->applyToBox(CenterActs, SlackActs);
-      Center = flattenRows(CenterActs);
-      Slack = flattenRows(SlackActs);
-      Gens = flattenRows(L->applyLinear(reshapeRows(Gens, CurShape)));
-      CurShape = L->outputShape(CurShape);
-    } else {
-      const int64_t Dim = Center.numel();
-      const int64_t G = Gens.dim(0);
-      for (int64_t J = 0; J < Dim; ++J) {
-        double Spread = Slack[J];
-        for (int64_t Row = 0; Row < G; ++Row)
-          Spread += std::fabs(Gens.at(Row, J));
-        const double Lo = Center[J] - Spread;
-        const double Hi = Center[J] + Spread;
-        if (Hi <= 0.0) {
-          Center[J] = 0.0;
-          Slack[J] = 0.0;
-          for (int64_t Row = 0; Row < G; ++Row)
-            Gens.at(Row, J) = 0.0;
-        } else if (Lo < 0.0) {
-          const double Lambda = Hi / (Hi - Lo);
-          const double Mu = -Lambda * Lo / 2.0;
-          Center[J] = Lambda * Center[J] + Mu;
-          Slack[J] = Lambda * Slack[J] + Mu; // error absorbed by the box
-          for (int64_t Row = 0; Row < G; ++Row)
-            Gens.at(Row, J) *= Lambda;
-        }
-      }
-    }
-    if (!Charge())
-      return OomResults();
   }
 
   // Spec tests including the box slack.
+  const bool Sound = soundRoundingEnabled();
   std::vector<ConvexResult> Results;
   Results.reserve(Specs.size());
   for (const OutputSpec &Spec : Specs) {
     bool Contained = true;
     bool Intersects = true;
     for (const auto &H : Spec.halfspaces()) {
-      double Mid = H.Offset;
-      double Spread = 0.0;
+      if (!Sound) {
+        double Mid = H.Offset;
+        double Spread = 0.0;
+        for (int64_t J = 0; J < H.Normal.numel(); ++J) {
+          Mid += H.Normal[J] * St.Center[J];
+          Spread += std::fabs(H.Normal[J]) * St.Slack[J];
+        }
+        for (int64_t Row = 0; Row < St.Gens.dim(0); ++Row) {
+          double Dot = 0.0;
+          for (int64_t J = 0; J < St.Gens.dim(1); ++J)
+            Dot += H.Normal[J] * St.Gens.at(Row, J);
+          Spread += std::fabs(Dot);
+        }
+        if (Mid - Spread <= 0.0)
+          Contained = false;
+        if (Mid + Spread <= 0.0)
+          Intersects = false;
+        continue;
+      }
+      double MidLo = H.Offset, MidHi = H.Offset;
+      double SpreadUp = 0.0;
       for (int64_t J = 0; J < H.Normal.numel(); ++J) {
-        Mid += H.Normal[J] * Center[J];
-        Spread += std::fabs(H.Normal[J]) * Slack[J];
+        MidLo = fp::addDown(MidLo, fp::mulDown(H.Normal[J], St.Center[J]));
+        MidHi = fp::addUp(MidHi, fp::mulUp(H.Normal[J], St.Center[J]));
+        SpreadUp = fp::addUp(
+            SpreadUp, fp::mulUp(std::fabs(H.Normal[J]), St.Slack[J]));
       }
-      for (int64_t Row = 0; Row < Gens.dim(0); ++Row) {
-        double Dot = 0.0;
-        for (int64_t J = 0; J < Gens.dim(1); ++J)
-          Dot += H.Normal[J] * Gens.at(Row, J);
-        Spread += std::fabs(Dot);
+      for (int64_t Row = 0; Row < St.Gens.dim(0); ++Row) {
+        double DotLo = 0.0, DotHi = 0.0;
+        for (int64_t J = 0; J < St.Gens.dim(1); ++J) {
+          DotLo =
+              fp::addDown(DotLo, fp::mulDown(H.Normal[J], St.Gens.at(Row, J)));
+          DotHi = fp::addUp(DotHi, fp::mulUp(H.Normal[J], St.Gens.at(Row, J)));
+        }
+        SpreadUp = fp::addUp(SpreadUp,
+                             std::max(std::fabs(DotLo), std::fabs(DotHi)));
       }
-      if (Mid - Spread <= 0.0)
+      if (fp::subDown(MidLo, SpreadUp) <= 0.0)
         Contained = false;
-      if (Mid + Spread <= 0.0)
+      if (fp::addUp(MidHi, SpreadUp) <= 0.0)
         Intersects = false;
     }
     ConvexResult PerSpec = Result;
@@ -134,6 +238,30 @@ ConvexResult analyzeHybridZonotope(const std::vector<const Layer *> &Layers,
   return analyzeHybridZonotopeMulti(Layers, InputShape, Start, End, {Spec},
                                     Memory)
       .front();
+}
+
+ZonotopeOutputBounds
+hybridZonotopeOutputBounds(const std::vector<const Layer *> &Layers,
+                           const Shape &InputShape, const Tensor &Start,
+                           const Tensor &End, DeviceMemoryModel &Memory) {
+  ZonotopeOutputBounds Out;
+  ConvexResult Result;
+  HybridState St;
+  if (!propagateHybrid(Layers, InputShape, Start, End, Memory, St, Result)) {
+    Out.OutOfMemory = true;
+    return Out;
+  }
+  const int64_t N = St.Center.numel();
+  Out.Lo = Tensor({1, N});
+  Out.Hi = Tensor({1, N});
+  for (int64_t J = 0; J < N; ++J) {
+    double Spread = St.Slack[J];
+    for (int64_t Row = 0; Row < St.Gens.dim(0); ++Row)
+      Spread = fp::addUp(Spread, std::fabs(St.Gens.at(Row, J)));
+    Out.Lo[J] = fp::subDown(St.Center[J], Spread);
+    Out.Hi[J] = fp::addUp(St.Center[J], Spread);
+  }
+  return Out;
 }
 
 } // namespace genprove

@@ -29,6 +29,13 @@ std::vector<ConvexResult> analyzeHybridZonotopeMulti(
     const Tensor &Start, const Tensor &End,
     const std::vector<OutputSpec> &Specs, DeviceMemoryModel &Memory);
 
+/// Per-dimension interval hull of the final hybrid state, rounded outward
+/// (see zonotopeOutputBounds). Used by the soundness audit (src/audit).
+ZonotopeOutputBounds
+hybridZonotopeOutputBounds(const std::vector<const Layer *> &Layers,
+                           const Shape &InputShape, const Tensor &Start,
+                           const Tensor &End, DeviceMemoryModel &Memory);
+
 } // namespace genprove
 
 #endif // GENPROVE_DOMAINS_HYBRID_ZONOTOPE_H

@@ -123,7 +123,10 @@ void applyAffineLayer(const Layer &L, const Shape &InShape,
   if (NumBoxes > 0) {
     Tensor C = rowsToActivations(Centers, InShape);
     Tensor Rr = rowsToActivations(Radii, InShape);
-    L.applyToBox(C, Rr);
+    if (soundRoundingEnabled())
+      L.applyToBoxSound(C, Rr);
+    else
+      L.applyToBox(C, Rr);
     NewCenters = activationsToRows(C);
     NewRadii = activationsToRows(Rr);
   }
@@ -163,6 +166,18 @@ void applyAffineLayer(const Layer &L, const Shape &InShape,
 /// Interval ReLU on a box region, in place.
 void reluBox(Region &Box) {
   const int64_t N = Box.dim();
+  if (soundRoundingEnabled()) {
+    // Endpoints rounded outward; the re-centered box keeps containing
+    // [Lo, Hi] via the directed-up radius (Interval::toCenterRadius).
+    for (int64_t J = 0; J < N; ++J) {
+      const Interval Clamped =
+          Interval(fp::subDown(Box.Center[J], Box.Radius[J]),
+                   fp::addUp(Box.Center[J], Box.Radius[J]))
+              .relu();
+      Clamped.toCenterRadius(Box.Center[J], Box.Radius[J]);
+    }
+    return;
+  }
   for (int64_t J = 0; J < N; ++J) {
     const double Lo = std::max(Box.Center[J] - Box.Radius[J], 0.0);
     const double Hi = std::max(Box.Center[J] + Box.Radius[J], 0.0);

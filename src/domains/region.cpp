@@ -3,6 +3,7 @@
 #include "src/domains/region.h"
 
 #include "src/util/error.h"
+#include "src/util/fp.h"
 
 #include <algorithm>
 #include <cmath>
@@ -103,6 +104,23 @@ Interval curveComponentRange(const Region &Curve, int64_t J) {
       }
     }
   }
+  if (soundRoundingEnabled()) {
+    // Inflate by a bound on the round-to-nearest evaluation error of the
+    // degree <= 2 polynomial at the endpoints and the vertex: a handful
+    // of operations on terms no larger than sum_d |a_d| * M^d with
+    // M = max(1, |T0|, |T1|).
+    const double M =
+        std::max({1.0, std::fabs(Curve.T0), std::fabs(Curve.T1)});
+    double Mag = 0.0;
+    double Mp = 1.0;
+    for (int64_t D = 0; D <= Curve.degree(); ++D) {
+      Mag = fp::addUp(Mag, fp::mulUp(std::fabs(Curve.Coeffs.at(D, J)), Mp));
+      Mp = fp::mulUp(Mp, M);
+    }
+    const double E = fp::mulUp(8.0 * DBL_EPSILON, Mag);
+    Range.Lo = fp::subDown(Range.Lo, E);
+    Range.Hi = fp::addUp(Range.Hi, E);
+  }
   return Range;
 }
 
@@ -113,8 +131,7 @@ Region boundingBox(const Region &R) {
   Tensor Center({1, N}), Radius({1, N});
   for (int64_t J = 0; J < N; ++J) {
     const Interval Range = curveComponentRange(R, J);
-    Center[J] = Range.center();
-    Radius[J] = Range.radius();
+    Range.toCenterRadius(Center[J], Radius[J]);
   }
   return makeBoxRegion(Center, Radius, R.Weight);
 }
@@ -125,15 +142,26 @@ Region mergeBoxes(const Region &A, const Region &B) {
   const int64_t N = A.dim();
   check(B.dim() == N, "mergeBoxes dim mismatch");
   Tensor Center({1, N}), Radius({1, N});
+  const bool Sound = soundRoundingEnabled();
   for (int64_t J = 0; J < N; ++J) {
-    const double Lo = std::min(A.Center[J] - A.Radius[J],
-                               B.Center[J] - B.Radius[J]);
-    const double Hi = std::max(A.Center[J] + A.Radius[J],
-                               B.Center[J] + B.Radius[J]);
-    Center[J] = 0.5 * (Lo + Hi);
-    Radius[J] = 0.5 * (Hi - Lo);
+    if (Sound) {
+      const Interval Hull{std::min(fp::subDown(A.Center[J], A.Radius[J]),
+                                   fp::subDown(B.Center[J], B.Radius[J])),
+                          std::max(fp::addUp(A.Center[J], A.Radius[J]),
+                                   fp::addUp(B.Center[J], B.Radius[J]))};
+      Hull.toCenterRadius(Center[J], Radius[J]);
+    } else {
+      const double Lo = std::min(A.Center[J] - A.Radius[J],
+                                 B.Center[J] - B.Radius[J]);
+      const double Hi = std::max(A.Center[J] + A.Radius[J],
+                                 B.Center[J] + B.Radius[J]);
+      Center[J] = 0.5 * (Lo + Hi);
+      Radius[J] = 0.5 * (Hi - Lo);
+    }
   }
-  return makeBoxRegion(Center, Radius, A.Weight + B.Weight);
+  const double Weight = Sound ? fp::addUp(A.Weight, B.Weight)
+                              : A.Weight + B.Weight;
+  return makeBoxRegion(Center, Radius, Weight);
 }
 
 double curveChordLength(const Region &Curve) {

@@ -2,6 +2,8 @@
 
 #include "src/domains/zonotope.h"
 
+#include "src/util/fp.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -20,25 +22,255 @@ Tensor flattenRows(const Tensor &Acts) {
   return Acts.reshaped({K, Acts.numel() / std::max<int64_t>(K, 1)});
 }
 
-/// Spec tests on a zonotope: min/max of each halfspace functional.
-ProbBounds liftedBounds(const Tensor &Center, const Tensor &Gens,
-                        const OutputSpec &Spec) {
+/// Mutable zonotope state. Slack is a per-dimension interval error term
+/// that is identically zero in the default round-to-nearest mode and
+/// absorbs every rounding error of the affine/ReLU transformers when
+/// sound rounding is on (the generator count the memory model sees is
+/// unchanged).
+struct ZonoState {
+  Tensor Center; ///< [1, N]
+  Tensor Gens;   ///< [G, N]
+  Tensor Slack;  ///< [1, N]
+};
+
+ZonoState initState(const Tensor &Start, const Tensor &End) {
+  const int64_t N = Start.numel();
+  ZonoState St{Tensor({1, N}), Tensor({1, N}), Tensor({1, N})};
+  const bool Sound = soundRoundingEnabled();
+  for (int64_t J = 0; J < N; ++J) {
+    St.Center[J] = 0.5 * (Start[J] + End[J]);
+    St.Gens.at(0, J) = 0.5 * (End[J] - Start[J]);
+    if (Sound)
+      // Covers the rounding of midpoint/half-difference and the deviation
+      // of any double-evaluated point s + t*(e-s) from the exact segment.
+      St.Slack[J] = fp::mulUp(
+          8.0 * DBL_EPSILON,
+          fp::addUp(std::fabs(Start[J]), std::fabs(End[J])));
+  }
+  return St;
+}
+
+/// Directed-up column sums of |Gens| (plain accumulation when sound
+/// rounding is off).
+Tensor absColumnSums(const Tensor &Gens) {
+  const int64_t G = Gens.dim(0);
+  const int64_t N = Gens.dim(1);
+  const bool Sound = soundRoundingEnabled();
+  Tensor Sums({1, N});
+  for (int64_t J = 0; J < N; ++J) {
+    double Acc = 0.0;
+    for (int64_t Row = 0; Row < G; ++Row) {
+      const double A = std::fabs(Gens.at(Row, J));
+      Acc = Sound ? fp::addUp(Acc, A) : Acc + A;
+    }
+    Sums[J] = Acc;
+  }
+  return Sums;
+}
+
+/// One affine layer on the state. The center/generator kernels are the
+/// unchanged round-to-nearest paths; in sound mode the slack additionally
+/// absorbs a rigorous bound on all of their rounding errors.
+void applyAffineToState(const Layer *L, const Shape &CurShape,
+                        ZonoState &St) {
+  const bool Sound = soundRoundingEnabled();
+  if (!Sound) {
+    St.Center = flattenRows(L->applyAffine(reshapeRows(St.Center, CurShape)));
+    St.Gens = flattenRows(L->applyLinear(reshapeRows(St.Gens, CurShape)));
+    St.Slack = Tensor({1, St.Center.numel()}); // identically zero in RN mode
+    return;
+  }
+
+  // Magnitude bound on any represented (or concretely forwarded) point:
+  // |x| <= |c| + sum_g |g| + slack.
+  const int64_t N = St.Center.numel();
+  Tensor Mag = absColumnSums(St.Gens);
+  for (int64_t J = 0; J < N; ++J)
+    Mag[J] = fp::addUp(Mag[J],
+                       fp::addUp(std::fabs(St.Center[J]), St.Slack[J]));
+
+  // One box application on a zero center yields the bias image and
+  // |A| * Mag; a second one propagates the slack itself through |A|.
+  Tensor BiasImage({1, N});
+  {
+    Tensor BiasActs = reshapeRows(BiasImage, CurShape);
+    Tensor MagActs = reshapeRows(Mag, CurShape);
+    L->applyToBox(BiasActs, MagActs);
+    BiasImage = flattenRows(BiasActs);
+    Mag = flattenRows(MagActs);
+  }
+  {
+    Tensor SlackCenter = St.Center.clone();
+    Tensor CenterActs = reshapeRows(SlackCenter, CurShape);
+    Tensor SlackActs = reshapeRows(St.Slack, CurShape);
+    L->applyToBox(CenterActs, SlackActs);
+    St.Slack = flattenRows(SlackActs);
+  }
+
+  St.Center = flattenRows(L->applyAffine(reshapeRows(St.Center, CurShape)));
+  St.Gens = flattenRows(L->applyLinear(reshapeRows(St.Gens, CurShape)));
+
+  // gamma * (|A| Mag + |b|) bounds, with a wide margin, the sum of the
+  // rounding errors of the center map, every generator row, the slack
+  // propagation and a concrete forward pass of a represented point.
+  const double Gamma = fp::accumulationBound(L->accumulationDepth());
+  const int64_t OutN = St.Slack.numel();
+  for (int64_t J = 0; J < OutN; ++J)
+    St.Slack[J] = fp::addUp(
+        St.Slack[J],
+        fp::mulUp(Gamma, fp::addUp(Mag[J], std::fabs(BiasImage[J]))));
+}
+
+/// ReLU transformer on the state (both kinds). In sound mode the
+/// pre-activation range is rounded outward and the lambda/mu rounding
+/// error is folded into the slack.
+void applyReluToState(ZonotopeKind Kind, ZonoState &St) {
+  const bool Sound = soundRoundingEnabled();
+  const int64_t Dim = St.Center.numel();
+  const int64_t G = St.Gens.dim(0);
+  std::vector<std::pair<int64_t, double>> Fresh; // (dim, coefficient)
+  for (int64_t J = 0; J < Dim; ++J) {
+    double Spread = Sound ? St.Slack[J] : 0.0;
+    for (int64_t Row = 0; Row < G; ++Row) {
+      const double A = std::fabs(St.Gens.at(Row, J));
+      Spread = Sound ? fp::addUp(Spread, A) : Spread + A;
+    }
+    const double Lo = Sound ? fp::subDown(St.Center[J], Spread)
+                            : St.Center[J] - Spread;
+    const double Hi = Sound ? fp::addUp(St.Center[J], Spread)
+                            : St.Center[J] + Spread;
+    if (Hi <= 0.0) {
+      St.Center[J] = 0.0;
+      St.Slack[J] = 0.0;
+      for (int64_t Row = 0; Row < G; ++Row)
+        St.Gens.at(Row, J) = 0.0;
+    } else if (Lo < 0.0) {
+      if (Kind == ZonotopeKind::DeepZono) {
+        // Minimal-area parallelogram: y = lambda*x + mu +- mu.
+        const double Lambda = Hi / (Hi - Lo);
+        const double Mu = -Lambda * Lo / 2.0;
+        if (Sound) {
+          // The parallelogram with the exact lambda*/mu* of this outward
+          // [Lo, Hi] is sound; the computed lambda/mu deviate by a few
+          // ULPs, as do the rescaled center/generators. All of it lands
+          // in the slack.
+          const double M = std::max(std::fabs(Lo), Hi);
+          const double SumG = fp::subUp(Spread, St.Slack[J]);
+          const double Inner = fp::addUp(
+              std::fabs(Mu),
+              fp::mulUp(Lambda,
+                        fp::addUp(M, fp::addUp(std::fabs(St.Center[J]),
+                                               SumG))));
+          const double LambdaUp =
+              fp::mulUp(Lambda, 1.0 + 8.0 * DBL_EPSILON);
+          St.Slack[J] = fp::addUp(fp::mulUp(LambdaUp, St.Slack[J]),
+                                  fp::mulUp(16.0 * DBL_EPSILON, Inner));
+        }
+        St.Center[J] = Lambda * St.Center[J] + Mu;
+        for (int64_t Row = 0; Row < G; ++Row)
+          St.Gens.at(Row, J) *= Lambda;
+        Fresh.emplace_back(J, Mu);
+      } else {
+        // AI2-style: forget the affine form, use [0, Hi]. In sound mode
+        // the fresh coefficient rounds up so [c - f, c + f] = [0, 2f]
+        // still covers [0, Hi]; the slack is consumed by Hi.
+        const double Half = Sound ? fp::mulUp(0.5, Hi) : Hi / 2.0;
+        St.Center[J] = Half;
+        St.Slack[J] = 0.0;
+        for (int64_t Row = 0; Row < G; ++Row)
+          St.Gens.at(Row, J) = 0.0;
+        Fresh.emplace_back(J, Half);
+      }
+    }
+    // Lo >= 0: identity (exact; slack carries over unchanged).
+  }
+  if (!Fresh.empty()) {
+    Tensor NewGens({G + static_cast<int64_t>(Fresh.size()), Dim});
+    std::copy(St.Gens.data(), St.Gens.data() + St.Gens.numel(),
+              NewGens.data());
+    for (size_t K = 0; K < Fresh.size(); ++K)
+      NewGens.at(G + static_cast<int64_t>(K), Fresh[K].first) =
+          Fresh[K].second;
+    St.Gens = std::move(NewGens);
+  }
+}
+
+/// Propagate the segment through the pipeline. Returns false on OOM.
+/// Peak/generator telemetry accumulates into Result.
+bool propagateZonotope(const std::vector<const Layer *> &Layers,
+                       const Shape &InputShape, const Tensor &Start,
+                       const Tensor &End, ZonotopeKind Kind,
+                       DeviceMemoryModel &Memory, ZonoState &St,
+                       ConvexResult &Result) {
+  St = initState(Start, End);
+  Shape CurShape = InputShape;
+  auto Charge = [&]() {
+    Result.MaxGenerators = std::max(Result.MaxGenerators, St.Gens.dim(0));
+    const bool Ok = Memory.chargeState(St.Gens.dim(0) + 1, CurShape.numel());
+    Result.PeakBytes = Memory.peakBytes();
+    return Ok;
+  };
+  if (!Charge())
+    return false;
+  for (const Layer *L : Layers) {
+    if (L->isAffine()) {
+      applyAffineToState(L, CurShape, St);
+      CurShape = L->outputShape(CurShape);
+    } else {
+      applyReluToState(Kind, St);
+    }
+    if (!Charge())
+      return false;
+  }
+  return true;
+}
+
+/// Spec tests on a zonotope: min/max of each halfspace functional, with
+/// directed rounding (and the slack term) when sound rounding is on.
+ProbBounds liftedBounds(const ZonoState &St, const OutputSpec &Spec) {
+  const bool Sound = soundRoundingEnabled();
   bool Contained = true;
   bool Intersects = true;
   for (const auto &H : Spec.halfspaces()) {
-    double Mid = H.Offset;
-    for (int64_t J = 0; J < H.Normal.numel(); ++J)
-      Mid += H.Normal[J] * Center[J];
-    double Spread = 0.0;
-    for (int64_t G = 0; G < Gens.dim(0); ++G) {
-      double Dot = 0.0;
-      for (int64_t J = 0; J < Gens.dim(1); ++J)
-        Dot += H.Normal[J] * Gens.at(G, J);
-      Spread += std::fabs(Dot);
+    if (!Sound) {
+      double Mid = H.Offset;
+      for (int64_t J = 0; J < H.Normal.numel(); ++J)
+        Mid += H.Normal[J] * St.Center[J];
+      double Spread = 0.0;
+      for (int64_t G = 0; G < St.Gens.dim(0); ++G) {
+        double Dot = 0.0;
+        for (int64_t J = 0; J < St.Gens.dim(1); ++J)
+          Dot += H.Normal[J] * St.Gens.at(G, J);
+        Spread += std::fabs(Dot);
+      }
+      if (Mid - Spread <= 0.0)
+        Contained = false;
+      if (Mid + Spread <= 0.0)
+        Intersects = false;
+      continue;
     }
-    if (Mid - Spread <= 0.0)
+    // Directed enclosure [MidLo, MidHi] of the center functional, plus an
+    // upper bound on the spread (per-row dot enclosures and the slack).
+    double MidLo = H.Offset, MidHi = H.Offset;
+    double SpreadUp = 0.0;
+    for (int64_t J = 0; J < H.Normal.numel(); ++J) {
+      MidLo = fp::addDown(MidLo, fp::mulDown(H.Normal[J], St.Center[J]));
+      MidHi = fp::addUp(MidHi, fp::mulUp(H.Normal[J], St.Center[J]));
+      SpreadUp = fp::addUp(SpreadUp,
+                           fp::mulUp(std::fabs(H.Normal[J]), St.Slack[J]));
+    }
+    for (int64_t G = 0; G < St.Gens.dim(0); ++G) {
+      double DotLo = 0.0, DotHi = 0.0;
+      for (int64_t J = 0; J < St.Gens.dim(1); ++J) {
+        DotLo = fp::addDown(DotLo, fp::mulDown(H.Normal[J], St.Gens.at(G, J)));
+        DotHi = fp::addUp(DotHi, fp::mulUp(H.Normal[J], St.Gens.at(G, J)));
+      }
+      SpreadUp = fp::addUp(SpreadUp, std::max(std::fabs(DotLo),
+                                              std::fabs(DotHi)));
+    }
+    if (fp::subDown(MidLo, SpreadUp) <= 0.0)
       Contained = false;
-    if (Mid + Spread <= 0.0)
+    if (fp::addUp(MidHi, SpreadUp) <= 0.0)
       Intersects = false;
   }
   if (Contained)
@@ -56,89 +288,17 @@ analyzeZonotopeMulti(const std::vector<const Layer *> &Layers,
                      const Tensor &End, const std::vector<OutputSpec> &Specs,
                      ZonotopeKind Kind, DeviceMemoryModel &Memory) {
   ConvexResult Result;
-  const int64_t N = Start.numel();
-  Tensor Center({1, N});
-  Tensor Gens({1, N});
-  for (int64_t J = 0; J < N; ++J) {
-    Center[J] = 0.5 * (Start[J] + End[J]);
-    Gens.at(0, J) = 0.5 * (End[J] - Start[J]);
-  }
-
-  Shape CurShape = InputShape;
-  auto Charge = [&]() {
-    Result.MaxGenerators = std::max(Result.MaxGenerators, Gens.dim(0));
-    const bool Ok =
-        Memory.chargeState(Gens.dim(0) + 1, CurShape.numel());
-    Result.PeakBytes = Memory.peakBytes();
-    return Ok;
-  };
-  auto OomResults = [&]() {
+  ZonoState St;
+  if (!propagateZonotope(Layers, InputShape, Start, End, Kind, Memory, St,
+                         Result)) {
     Result.Bounds = {0.0, 1.0, true};
     return std::vector<ConvexResult>(Specs.size(), Result);
-  };
-  if (!Charge())
-    return OomResults();
-
-  for (const Layer *L : Layers) {
-    if (L->isAffine()) {
-      Center = flattenRows(L->applyAffine(reshapeRows(Center, CurShape)));
-      Gens = flattenRows(L->applyLinear(reshapeRows(Gens, CurShape)));
-      CurShape = L->outputShape(CurShape);
-    } else {
-      // ReLU: per-dimension case analysis. First pass decides the
-      // transform and the fresh-error magnitude per crossing neuron while
-      // the pre-ReLU bounds are still available; the second pass appends
-      // the fresh generators.
-      const int64_t Dim = Center.numel();
-      const int64_t G = Gens.dim(0);
-      std::vector<std::pair<int64_t, double>> Fresh; // (dim, coefficient)
-      for (int64_t J = 0; J < Dim; ++J) {
-        double Spread = 0.0;
-        for (int64_t Row = 0; Row < G; ++Row)
-          Spread += std::fabs(Gens.at(Row, J));
-        const double Lo = Center[J] - Spread;
-        const double Hi = Center[J] + Spread;
-        if (Hi <= 0.0) {
-          Center[J] = 0.0;
-          for (int64_t Row = 0; Row < G; ++Row)
-            Gens.at(Row, J) = 0.0;
-        } else if (Lo < 0.0) {
-          if (Kind == ZonotopeKind::DeepZono) {
-            // Minimal-area parallelogram: y = lambda*x + mu +- mu.
-            const double Lambda = Hi / (Hi - Lo);
-            const double Mu = -Lambda * Lo / 2.0;
-            Center[J] = Lambda * Center[J] + Mu;
-            for (int64_t Row = 0; Row < G; ++Row)
-              Gens.at(Row, J) *= Lambda;
-            Fresh.emplace_back(J, Mu);
-          } else {
-            // AI2-style: forget the affine form, use [0, Hi].
-            Center[J] = Hi / 2.0;
-            for (int64_t Row = 0; Row < G; ++Row)
-              Gens.at(Row, J) = 0.0;
-            Fresh.emplace_back(J, Hi / 2.0);
-          }
-        }
-        // Lo >= 0: identity.
-      }
-      if (!Fresh.empty()) {
-        Tensor NewGens({G + static_cast<int64_t>(Fresh.size()), Dim});
-        std::copy(Gens.data(), Gens.data() + Gens.numel(), NewGens.data());
-        for (size_t K = 0; K < Fresh.size(); ++K)
-          NewGens.at(G + static_cast<int64_t>(K), Fresh[K].first) =
-              Fresh[K].second;
-        Gens = std::move(NewGens);
-      }
-    }
-    if (!Charge())
-      return OomResults();
   }
-
   std::vector<ConvexResult> Results;
   Results.reserve(Specs.size());
   for (const OutputSpec &Spec : Specs) {
     ConvexResult PerSpec = Result;
-    PerSpec.Bounds = liftedBounds(Center, Gens, Spec);
+    PerSpec.Bounds = liftedBounds(St, Spec);
     Results.push_back(std::move(PerSpec));
   }
   return Results;
@@ -151,6 +311,32 @@ ConvexResult analyzeZonotope(const std::vector<const Layer *> &Layers,
   return analyzeZonotopeMulti(Layers, InputShape, Start, End, {Spec}, Kind,
                               Memory)
       .front();
+}
+
+ZonotopeOutputBounds
+zonotopeOutputBounds(const std::vector<const Layer *> &Layers,
+                     const Shape &InputShape, const Tensor &Start,
+                     const Tensor &End, ZonotopeKind Kind,
+                     DeviceMemoryModel &Memory) {
+  ZonotopeOutputBounds Out;
+  ConvexResult Result;
+  ZonoState St;
+  if (!propagateZonotope(Layers, InputShape, Start, End, Kind, Memory, St,
+                         Result)) {
+    Out.OutOfMemory = true;
+    return Out;
+  }
+  const int64_t N = St.Center.numel();
+  Out.Lo = Tensor({1, N});
+  Out.Hi = Tensor({1, N});
+  for (int64_t J = 0; J < N; ++J) {
+    double Spread = St.Slack[J];
+    for (int64_t Row = 0; Row < St.Gens.dim(0); ++Row)
+      Spread = fp::addUp(Spread, std::fabs(St.Gens.at(Row, J)));
+    Out.Lo[J] = fp::subDown(St.Center[J], Spread);
+    Out.Hi[J] = fp::addUp(St.Center[J], Spread);
+  }
+  return Out;
 }
 
 } // namespace genprove

@@ -58,6 +58,20 @@ analyzeZonotopeMulti(const std::vector<const Layer *> &Layers,
                      const Tensor &End, const std::vector<OutputSpec> &Specs,
                      ZonotopeKind Kind, DeviceMemoryModel &Memory);
 
+/// Per-dimension interval hull of the final zonotope, rounded outward.
+/// Used by the soundness audit (src/audit) to check containment of
+/// concrete forward passes.
+struct ZonotopeOutputBounds {
+  Tensor Lo, Hi; ///< [1, N] each; empty when OutOfMemory.
+  bool OutOfMemory = false;
+};
+
+ZonotopeOutputBounds
+zonotopeOutputBounds(const std::vector<const Layer *> &Layers,
+                     const Shape &InputShape, const Tensor &Start,
+                     const Tensor &End, ZonotopeKind Kind,
+                     DeviceMemoryModel &Memory);
+
 } // namespace genprove
 
 #endif // GENPROVE_DOMAINS_ZONOTOPE_H

@@ -5,6 +5,14 @@
 namespace genprove {
 
 Interval Interval::operator*(const Interval &O) const {
+  if (soundRoundingEnabled()) {
+    const double LoCands[4] = {fp::mulDown(Lo, O.Lo), fp::mulDown(Lo, O.Hi),
+                               fp::mulDown(Hi, O.Lo), fp::mulDown(Hi, O.Hi)};
+    const double HiCands[4] = {fp::mulUp(Lo, O.Lo), fp::mulUp(Lo, O.Hi),
+                               fp::mulUp(Hi, O.Lo), fp::mulUp(Hi, O.Hi)};
+    return {*std::min_element(LoCands, LoCands + 4),
+            *std::max_element(HiCands, HiCands + 4)};
+  }
   const double A = Lo * O.Lo, B = Lo * O.Hi, C = Hi * O.Lo, D = Hi * O.Hi;
   return {std::min(std::min(A, B), std::min(C, D)),
           std::max(std::max(A, B), std::max(C, D))};

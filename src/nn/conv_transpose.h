@@ -21,6 +21,11 @@ public:
   Tensor applyAffine(const Tensor &Points) const override;
   Tensor applyLinear(const Tensor &Points) const override;
   void applyToBox(Tensor &Center, Tensor &Radius) const override;
+  int64_t accumulationDepth() const override {
+    // Each output pixel gathers at most InChannels * KH * KW scattered
+    // contributions, plus the bias.
+    return Geom.InChannels * Geom.KernelH * Geom.KernelW + 1;
+  }
   std::vector<Param> params() override;
   Shape outputShape(const Shape &InputShape) const override;
   std::string describe() const override;

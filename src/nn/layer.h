@@ -85,6 +85,20 @@ public:
     fatalError("applyToBox called on a non-affine layer");
   }
 
+  /// Number of round-to-nearest accumulation terms behind one output value
+  /// of the affine map (dot-product length plus the bias add). Zero means
+  /// the layer is exact in floating point (pure data movement), so
+  /// applyToBoxSound() needs no radius inflation.
+  virtual int64_t accumulationDepth() const { return 0; }
+
+  /// Sound variant of applyToBox(): same round-to-nearest kernels, but the
+  /// output radius is inflated by a rigorous bound on the accumulated
+  /// rounding error so [Center' +- Radius'] contains the exact interval
+  /// image — and any round-to-nearest forward pass through this layer of a
+  /// point in the input box. Implemented once on the base class in terms
+  /// of applyToBox()/accumulationDepth().
+  void applyToBoxSound(Tensor &Center, Tensor &Radius) const;
+
   /// Learnable parameters (empty for shape/activation layers).
   virtual std::vector<Param> params() { return {}; }
 

@@ -18,6 +18,7 @@ public:
   Tensor applyAffine(const Tensor &Points) const override;
   Tensor applyLinear(const Tensor &Points) const override;
   void applyToBox(Tensor &Center, Tensor &Radius) const override;
+  int64_t accumulationDepth() const override { return InFeatures + 1; }
   std::vector<Param> params() override;
   Shape outputShape(const Shape &InputShape) const override;
   std::string describe() const override;

@@ -1,0 +1,62 @@
+//===- util/fp.cpp --------------------------------------------*- C++ -*-===//
+
+#include "src/util/fp.h"
+
+#include <atomic>
+
+namespace genprove {
+
+namespace {
+std::atomic<bool> SoundRounding{false};
+} // namespace
+
+bool soundRoundingEnabled() {
+  return SoundRounding.load(std::memory_order_relaxed);
+}
+
+void setSoundRounding(bool On) {
+  SoundRounding.store(On, std::memory_order_relaxed);
+}
+
+namespace fp {
+
+// Neumaier's variant of Kahan summation: the magnitude-ordered Fast2Sum
+// makes each per-step error term exact, so Exact = S + sum(E_i) holds as a
+// real-number identity. Bounding sum(E_i) with directed additions then
+// turns the compensated result into a true one-sided bound.
+
+double sumUp(const double *Values, int64_t Count) {
+  if (Count == 0)
+    return 0.0;
+  double S = 0.0;
+  double C = 0.0; // directed upper bound on the accumulated error terms
+  for (int64_t I = 0; I < Count; ++I) {
+    const double V = Values[I];
+    const double T = S + V;
+    const double E =
+        std::fabs(S) >= std::fabs(V) ? (S - T) + V : (V - T) + S;
+    C = addUp(C, E);
+    S = T;
+  }
+  return addUp(S, C);
+}
+
+double sumDown(const double *Values, int64_t Count) {
+  if (Count == 0)
+    return 0.0;
+  double S = 0.0;
+  double C = 0.0; // directed lower bound on the accumulated error terms
+  for (int64_t I = 0; I < Count; ++I) {
+    const double V = Values[I];
+    const double T = S + V;
+    const double E =
+        std::fabs(S) >= std::fabs(V) ? (S - T) + V : (V - T) + S;
+    C = addDown(C, E);
+    S = T;
+  }
+  return addDown(S, C);
+}
+
+} // namespace fp
+
+} // namespace genprove

@@ -99,7 +99,8 @@ double betaContinuedFraction(double A, double B, double X) {
   return H;
 }
 
-/// Regularized incomplete beta function I_x(a, b).
+} // namespace
+
 double regularizedBeta(double A, double B, double X) {
   if (X <= 0.0)
     return 0.0;
@@ -113,8 +114,15 @@ double regularizedBeta(double A, double B, double X) {
   return 1.0 - Bt * betaContinuedFraction(B, A, 1.0 - X) / B;
 }
 
+namespace {
+
 /// Inverse of the regularized incomplete beta via bisection; monotone in X.
-double betaQuantile(double P, double A, double B) {
+/// The loop maintains I(Lo) < P <= I(Hi), so the true quantile lies in
+/// [Lo, Hi]. Returning the midpoint (as this used to) can land on either
+/// side of the quantile, silently un-conservative for confidence bounds;
+/// instead the caller picks the endpoint that errs outward: Lo for a lower
+/// confidence bound, Hi for an upper one.
+double betaQuantile(double P, double A, double B, bool RoundDown) {
   double Lo = 0.0;
   double Hi = 1.0;
   for (int Iter = 0; Iter < 200; ++Iter) {
@@ -124,7 +132,7 @@ double betaQuantile(double P, double A, double B) {
     else
       Hi = Mid;
   }
-  return 0.5 * (Lo + Hi);
+  return RoundDown ? Lo : Hi;
 }
 
 } // namespace
@@ -137,9 +145,12 @@ std::pair<double, double> clopperPearson(size_t K, size_t N, double Alpha) {
   double Lower = 0.0;
   double Upper = 1.0;
   if (K > 0)
-    Lower = betaQuantile(Alpha / 2.0, Kd, Nd - Kd + 1.0);
+    Lower = betaQuantile(Alpha / 2.0, Kd, Nd - Kd + 1.0, /*RoundDown=*/true);
   if (K < N)
-    Upper = betaQuantile(1.0 - Alpha / 2.0, Kd + 1.0, Nd - Kd);
+    Upper = betaQuantile(1.0 - Alpha / 2.0, Kd + 1.0, Nd - Kd,
+                         /*RoundDown=*/false);
+  Lower = std::clamp(Lower, 0.0, 1.0);
+  Upper = std::clamp(Upper, Lower, 1.0);
   return {Lower, Upper};
 }
 

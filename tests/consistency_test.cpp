@@ -83,6 +83,44 @@ TEST(Consistency, EvaluationProducesCoherentReport) {
   EXPECT_LE(Report.FractionNonTrivial, 1.0);
 }
 
+/// Every class and every attribute signature a singleton: no usable pair
+/// exists and the samplers must fail loudly instead of quietly returning
+/// fewer (or zero) pairs.
+Dataset degenerateSet() {
+  Dataset Set;
+  Set.Images = Tensor({3, 1, 2, 2});
+  Set.Labels = {0, 1, 2};
+  Set.Attributes = Tensor({3, 2});
+  Set.Attributes.at(0, 0) = 1.0;
+  Set.Attributes.at(1, 1) = 1.0;
+  Set.ClassNames = {"a", "b", "c"};
+  Set.Channels = 1;
+  Set.Size = 2;
+  return Set;
+}
+
+TEST(PairsDeathTest, SameClassPairsRejectsAllSingletonClasses) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Dataset Set = degenerateSet();
+  Rng R(7);
+  EXPECT_DEATH(sameClassPairs(Set, 5, R), "no class has two or more images");
+}
+
+TEST(PairsDeathTest, SameAttributePairsRejectsUniqueSignatures) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Dataset Set = degenerateSet();
+  Rng R(8);
+  EXPECT_DEATH(sameAttributePairs(Set, 5, R),
+               "every attribute signature is unique");
+}
+
+TEST(Pairs, DegenerateSetWithZeroRequestedPairsIsFine) {
+  const Dataset Set = degenerateSet();
+  Rng R(9);
+  EXPECT_TRUE(sameClassPairs(Set, 0, R).empty());
+  EXPECT_TRUE(sameAttributePairs(Set, 0, R).empty());
+}
+
 TEST(Consistency, ExactAnalysisGivesZeroWidths) {
   const Dataset Set = makeSynthShoes(100, 16, 5);
   Rng R(5);

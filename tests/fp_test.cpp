@@ -1,0 +1,179 @@
+//===- tests/fp_test.cpp - directed rounding & stats soundness --*- C++ -*-===//
+
+#include "src/interval/interval.h"
+#include "src/util/fp.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genprove {
+namespace {
+
+TEST(DirectedRounding, DisabledByDefault) {
+  EXPECT_FALSE(soundRoundingEnabled());
+  {
+    SoundRoundingScope On(true);
+    EXPECT_TRUE(soundRoundingEnabled());
+    {
+      SoundRoundingScope Off(false);
+      EXPECT_FALSE(soundRoundingEnabled());
+    }
+    EXPECT_TRUE(soundRoundingEnabled());
+  }
+  EXPECT_FALSE(soundRoundingEnabled());
+}
+
+/// Every directed op must bracket the exact (long double) result.
+TEST(DirectedRounding, OpsBracketExactValue) {
+  Rng Gen(42);
+  for (int I = 0; I < 10000; ++I) {
+    const double A = std::ldexp(Gen.uniform(-1.0, 1.0),
+                                static_cast<int>(Gen.below(41)) - 20);
+    const double B = std::ldexp(Gen.uniform(-1.0, 1.0),
+                                static_cast<int>(Gen.below(41)) - 20);
+    const long double La = A, Lb = B;
+    EXPECT_GE(static_cast<long double>(fp::addUp(A, B)), La + Lb);
+    EXPECT_LE(static_cast<long double>(fp::addDown(A, B)), La + Lb);
+    EXPECT_GE(static_cast<long double>(fp::subUp(A, B)), La - Lb);
+    EXPECT_LE(static_cast<long double>(fp::subDown(A, B)), La - Lb);
+    EXPECT_GE(static_cast<long double>(fp::mulUp(A, B)), La * Lb);
+    EXPECT_LE(static_cast<long double>(fp::mulDown(A, B)), La * Lb);
+    if (B != 0.0) {
+      EXPECT_GE(static_cast<long double>(fp::divUp(A, B)), La / Lb);
+      EXPECT_LE(static_cast<long double>(fp::divDown(A, B)), La / Lb);
+    }
+  }
+}
+
+TEST(DirectedRounding, SumBracketsExactSum) {
+  Rng Gen(7);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<double> Values;
+    long double Exact = 0.0L;
+    const int N = 1 + static_cast<int>(Gen.below(2000));
+    for (int I = 0; I < N; ++I) {
+      // Wildly mixed magnitudes to exercise the compensation.
+      const double V = std::ldexp(Gen.uniform(-1.0, 1.0),
+                                  static_cast<int>(Gen.below(81)) - 40);
+      Values.push_back(V);
+      Exact += static_cast<long double>(V);
+    }
+    const double Up = fp::sumUp(Values);
+    const double Down = fp::sumDown(Values);
+    EXPECT_GE(static_cast<long double>(Up), Exact);
+    EXPECT_LE(static_cast<long double>(Down), Exact);
+    // The compensated sum stays tight: a few ULPs, not a naive-sum drift.
+    EXPECT_LE(Up - Down, 1e-10 * std::max(1.0, std::fabs(Down)));
+  }
+}
+
+TEST(DirectedRounding, SumMatchesNaiveOnEmptyAndSingle) {
+  EXPECT_EQ(fp::sumUp(std::vector<double>{}), 0.0);
+  EXPECT_EQ(fp::sumDown(std::vector<double>{}), 0.0);
+  EXPECT_GE(fp::sumUp({0.1}), 0.1);
+  EXPECT_LE(fp::sumDown({0.1}), 0.1);
+}
+
+TEST(Interval, SoundOpsContainSampledResults) {
+  SoundRoundingScope On(true);
+  Rng Gen(11);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    const double A = Gen.uniform(-3.0, 3.0), B = Gen.uniform(-3.0, 3.0);
+    const double C = Gen.uniform(-3.0, 3.0), D = Gen.uniform(-3.0, 3.0);
+    const Interval X{std::min(A, B), std::max(A, B)};
+    const Interval Y{std::min(C, D), std::max(C, D)};
+    const double Px = Gen.uniform(X.Lo, X.Hi);
+    const double Py = Gen.uniform(Y.Lo, Y.Hi);
+    EXPECT_TRUE((X + Y).contains(Px + Py));
+    EXPECT_TRUE((X - Y).contains(Px - Py));
+    EXPECT_TRUE((X * Y).contains(Px * Py));
+    EXPECT_TRUE((X * 1.7).contains(Px * 1.7));
+    EXPECT_TRUE((X * -2.3).contains(Px * -2.3));
+  }
+}
+
+TEST(Interval, SoundCenterRadiusCoversEndpoints) {
+  SoundRoundingScope On(true);
+  Rng Gen(13);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    const double A = Gen.uniform(-1e6, 1e6), B = Gen.uniform(-1e6, 1e6);
+    const Interval X{std::min(A, B), std::max(A, B)};
+    double C, R;
+    X.toCenterRadius(C, R);
+    EXPECT_LE(C - R, X.Lo);
+    EXPECT_GE(C + R, X.Hi);
+  }
+}
+
+TEST(Interval, RoundToNearestPathUnchangedWhenDisabled) {
+  // Bit-identity contract: with the toggle off, arithmetic must be the
+  // plain round-to-nearest expression.
+  const Interval X{0.1, 0.3}, Y{0.2, 0.7};
+  const Interval Sum = X + Y;
+  EXPECT_EQ(Sum.Lo, 0.1 + 0.2);
+  EXPECT_EQ(Sum.Hi, 0.3 + 0.7);
+  double C, R;
+  X.toCenterRadius(C, R);
+  EXPECT_EQ(C, 0.5 * (0.1 + 0.3));
+  EXPECT_EQ(R, 0.5 * (0.3 - 0.1));
+}
+
+// --- Clopper-Pearson regression (the betaQuantile endpoint fix) ---------
+
+TEST(ClopperPearson, ZeroSuccessesMatchesClosedForm) {
+  // K = 0: lower = 0, upper = 1 - (alpha/2)^(1/N).
+  const auto [Lower, Upper] = clopperPearson(0, 10, 0.05);
+  EXPECT_EQ(Lower, 0.0);
+  const double Reference = 1.0 - std::pow(0.025, 1.0 / 10.0);
+  EXPECT_NEAR(Upper, Reference, 1e-6);
+  // Conservative direction: at least the closed-form value.
+  EXPECT_GE(Upper, Reference - 1e-12);
+}
+
+TEST(ClopperPearson, AllSuccessesMatchesClosedForm) {
+  // K = N: upper = 1, lower = (alpha/2)^(1/N).
+  const auto [Lower, Upper] = clopperPearson(10, 10, 0.05);
+  EXPECT_EQ(Upper, 1.0);
+  const double Reference = std::pow(0.025, 1.0 / 10.0);
+  EXPECT_NEAR(Lower, Reference, 1e-6);
+  EXPECT_LE(Lower, Reference + 1e-12);
+}
+
+TEST(ClopperPearson, HalfSuccessesMatchesReference) {
+  // K = 5, N = 10, alpha = 0.05: the textbook interval [0.18709, 0.81291].
+  const auto [Lower, Upper] = clopperPearson(5, 10, 0.05);
+  EXPECT_NEAR(Lower, 0.187086, 1e-4);
+  EXPECT_NEAR(Upper, 0.812914, 1e-4);
+  EXPECT_LT(Lower, Upper);
+}
+
+TEST(ClopperPearson, EndpointsErrOutward) {
+  // The bisection maintains I(Lo) < P <= I(Hi); returning the outward
+  // endpoint means the lower bound satisfies I(Lower) <= alpha/2 and the
+  // upper bound satisfies I(Upper) >= 1 - alpha/2.
+  const double Alpha = 0.05;
+  for (size_t K : {1u, 3u, 5u, 7u, 9u}) {
+    const size_t N = 10;
+    const auto [Lower, Upper] = clopperPearson(K, N, Alpha);
+    const double Kd = static_cast<double>(K), Nd = static_cast<double>(N);
+    EXPECT_LE(regularizedBeta(Kd, Nd - Kd + 1.0, Lower), Alpha / 2.0)
+        << "K=" << K;
+    EXPECT_GE(regularizedBeta(Kd + 1.0, Nd - Kd, Upper), 1.0 - Alpha / 2.0)
+        << "K=" << K;
+    EXPECT_GE(Lower, 0.0);
+    EXPECT_LE(Upper, 1.0);
+    EXPECT_LE(Lower, Upper);
+  }
+}
+
+TEST(ClopperPearson, DegenerateInputs) {
+  const auto [Lower, Upper] = clopperPearson(0, 0, 0.05);
+  EXPECT_EQ(Lower, 0.0);
+  EXPECT_EQ(Upper, 1.0);
+}
+
+} // namespace
+} // namespace genprove

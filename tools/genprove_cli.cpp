@@ -33,6 +33,7 @@
 #include "src/core/genprove.h"
 #include "src/domains/fault_injection.h"
 #include "src/nn/serialize.h"
+#include "src/util/fp.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/parallel/thread_pool.h"
@@ -64,7 +65,8 @@ namespace {
       "                    propagated once, each endpoint is bounded\n"
       "                    against it concurrently)\n"
       "                    [--p P] [--k K] [--threshold T] [--budget-mb M]\n"
-      "                    [--deterministic] [--arcsine] [--splits N]\n"
+      "                    [--deterministic] [--arcsine] [--sound]\n"
+      "                    [--splits N]\n"
       "                    [--schedule A|B] [--threads N]\n"
       "                    [--resilient] [--deadline-ms D]\n"
       "                    [--report] [--trace-out FILE.json]\n"
@@ -75,6 +77,11 @@ namespace {
       "                      GENPROVE_THREADS env var, else the hardware\n"
       "                      concurrency; 1 = fully serial). Results are\n"
       "                      bit-identical for every thread count.\n"
+      "\n"
+      "soundness:\n"
+      "  --sound             directed (outward) rounding on every bound\n"
+      "                      computation; floating-point-sound intervals at\n"
+      "                      a sub-percent width cost (docs/SOUNDNESS.md)\n"
       "\n"
       "resilience:\n"
       "  --resilient         never fail: on OOM roll back to the last layer\n"
@@ -274,6 +281,8 @@ int main(int Argc, char **Argv) {
           static_cast<size_t>(std::stoull(Next())) << 20;
     else if (Arg == "--deterministic")
       Config.Mode = AnalysisMode::Deterministic;
+    else if (Arg == "--sound")
+      setSoundRounding(true);
     else if (Arg == "--arcsine")
       Config.Distribution = ParamDistribution::Arcsine;
     else if (Arg == "--splits")
