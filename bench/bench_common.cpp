@@ -71,7 +71,8 @@ std::string BenchEnv::configFingerprint() const {
         << Config.SamplesPerPair << '|' << Config.SamplingAlpha << '|'
         << Config.RelaxPercent << '|' << Config.ClusterK << '|'
         << Config.NodeThreshold << '|' << Config.MemoryBudgetBytes << '|'
-        << Config.Resilient << '|' << Config.DeadlineSeconds;
+        << Config.Resilient << '|' << Config.DeadlineSeconds << '|'
+        << Config.Shards;
   const std::string Text = Knobs.str();
   uint64_t Hash = 1469598103934665603ull; // FNV-1a 64
   for (unsigned char C : Text) {
@@ -203,6 +204,7 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
   GpConfig.Resilience.Enabled = Config.Resilient;
   GpConfig.Resilience.DeadlineSeconds =
       Config.Resilient ? Config.DeadlineSeconds : 0.0;
+  GpConfig.InputSplits = std::max<int64_t>(Config.Shards, 1);
   switch (Which) {
   case Method::Baseline:
     GpConfig.Mode = AnalysisMode::Deterministic;
@@ -493,6 +495,7 @@ void BenchEnv::writeRunReport() {
       .value(static_cast<int64_t>(Config.MemoryBudgetBytes));
   W.key("resilient").value(Config.Resilient);
   W.key("deadline_seconds").value(Config.DeadlineSeconds);
+  W.key("shards").value(Config.Shards);
   W.endObject();
 
   W.key("cells");

@@ -104,6 +104,11 @@ struct BenchConfig {
   bool Resilient = false;
   /// Per-pair propagation deadline in seconds when Resilient; 0 = none.
   double DeadlineSeconds = 0.0;
+  /// Shard the input range N ways (realized as InputSplits in-process; the
+  /// CLI's --shards path runs the same partition in worker processes).
+  /// Part of the cache fingerprint: shard-count changes re-associate the
+  /// bound sums, so cells computed under a different count are recomputed.
+  int64_t Shards = 1;
   std::string ResultsDir = "results";
 };
 

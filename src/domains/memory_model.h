@@ -26,6 +26,8 @@
 #ifndef GENPROVE_DOMAINS_MEMORY_MODEL_H
 #define GENPROVE_DOMAINS_MEMORY_MODEL_H
 
+#include "src/obs/metrics.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -72,10 +74,16 @@ public:
   /// post-join call per layer, so interceptor firing stays deterministic.
   bool charge(size_t Bytes) {
     updatePeak(Bytes);
-    if (Interceptor && Interceptor(Bytes))
+    if (Interceptor && Interceptor(Bytes)) {
+      noteChargeFailure(/*Try=*/false);
       return false;
-    return BudgetBytes == 0 ||
-           PeakBytes.load(std::memory_order_relaxed) <= BudgetBytes;
+    }
+    if (BudgetBytes != 0 &&
+        PeakBytes.load(std::memory_order_relaxed) > BudgetBytes) {
+      noteChargeFailure(/*Try=*/false);
+      return false;
+    }
+    return true;
   }
 
   /// Charge a state of Nodes representation points of Dim doubles each.
@@ -87,10 +95,14 @@ public:
   /// call returns true; on failure the model is left untouched, so a
   /// resilient caller can roll back and retry with a smaller state.
   bool tryCharge(size_t Bytes) {
-    if (Interceptor && Interceptor(Bytes))
+    if (Interceptor && Interceptor(Bytes)) {
+      noteChargeFailure(/*Try=*/true);
       return false;
-    if (BudgetBytes != 0 && Bytes > BudgetBytes)
+    }
+    if (BudgetBytes != 0 && Bytes > BudgetBytes) {
+      noteChargeFailure(/*Try=*/true);
       return false;
+    }
     updatePeak(Bytes);
     return true;
   }
@@ -129,6 +141,25 @@ private:
            !PeakBytes.compare_exchange_weak(Cur, Bytes,
                                             std::memory_order_relaxed)) {
     }
+    if (BudgetBytes != 0 && metricsEnabled()) {
+      static Gauge &Ratio =
+          MetricsRegistry::global().gauge("device.peak_budget_ratio");
+      Ratio.setMax(static_cast<double>(
+                       PeakBytes.load(std::memory_order_relaxed)) /
+                   static_cast<double>(BudgetBytes));
+    }
+  }
+
+  /// Rejected charges used to vanish into a bool; count them so memory
+  /// pressure shows up in the metrics snapshot (docs/OBSERVABILITY.md).
+  static void noteChargeFailure(bool Try) {
+    if (!metricsEnabled())
+      return;
+    static Counter &ChargeFailures =
+        MetricsRegistry::global().counter("device.charge_failures");
+    static Counter &TryChargeFailures =
+        MetricsRegistry::global().counter("device.try_charge_failures");
+    (Try ? TryChargeFailures : ChargeFailures).add(1);
   }
 
   size_t BudgetBytes;

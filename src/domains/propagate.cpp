@@ -350,6 +350,13 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
 
   Shape CurShape = InputShape;
   Quarantine(Regions);
+  if (Resilient && Res.StartAtFullBox) {
+    // The caller asked for the interval-box rung up front (last-resort
+    // shard retries): lift before the initial charge so the whole
+    // pipeline runs budget-exempt host interval arithmetic.
+    liftToFullBox(Regions);
+    Degrade(DegradeRung::FullBox);
+  }
   {
     const int64_t Nodes = totalNodes(Regions);
     const int64_t Dim = Regions.empty() ? 0 : Regions.front().dim();

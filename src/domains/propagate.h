@@ -80,6 +80,12 @@ struct ResilienceConfig {
   /// Quarantine regions containing NaN/Inf instead of propagating them;
   /// their mass widens the final bounds (see PropagateStats).
   bool DetectNonFinite = true;
+  /// Lift the initial state straight to the FullBox rung before layer 0.
+  /// The whole pipeline then runs budget-exempt interval arithmetic — the
+  /// cheapest sound analysis available. The shard supervisor sets this on
+  /// last-resort retries so a repeatedly-crashing worker converges to a
+  /// run that cannot exhaust memory.
+  bool StartAtFullBox = false;
   /// Deterministic fault injection (tests and the CI smoke job); null in
   /// production.
   FaultInjector *Faults = nullptr;

@@ -5,6 +5,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string_view>
 
 namespace genprove {
@@ -186,7 +187,24 @@ struct JsonParser {
     return true;
   }
 
-  bool string() {
+  /// Append codepoint \p Cp to \p Out as UTF-8 (enough for the \uXXXX
+  /// escapes JsonWriter emits; surrogate pairs are not recombined).
+  static void appendUtf8(std::string *Out, unsigned Cp) {
+    if (!Out)
+      return;
+    if (Cp < 0x80) {
+      Out->push_back(static_cast<char>(Cp));
+    } else if (Cp < 0x800) {
+      Out->push_back(static_cast<char>(0xc0 | (Cp >> 6)));
+      Out->push_back(static_cast<char>(0x80 | (Cp & 0x3f)));
+    } else {
+      Out->push_back(static_cast<char>(0xe0 | (Cp >> 12)));
+      Out->push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3f)));
+      Out->push_back(static_cast<char>(0x80 | (Cp & 0x3f)));
+    }
+  }
+
+  bool string(std::string *Out = nullptr) {
     if (Pos >= Text.size() || Text[Pos] != '"')
       return fail("expected '\"'");
     ++Pos;
@@ -202,27 +220,56 @@ struct JsonParser {
           return fail("dangling escape");
         const char E = Text[Pos];
         if (E == 'u') {
+          unsigned Cp = 0;
           for (int I = 0; I < 4; ++I) {
             ++Pos;
             if (Pos >= Text.size() ||
                 !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
               return fail("bad \\u escape");
+            const char H = Text[Pos];
+            Cp = Cp * 16 +
+                 static_cast<unsigned>(H <= '9'   ? H - '0'
+                                       : H <= 'F' ? H - 'A' + 10
+                                                  : H - 'a' + 10);
           }
+          appendUtf8(Out, Cp);
         } else if (std::string_view("\"\\/bfnrt").find(E) ==
                    std::string_view::npos) {
           return fail("bad escape");
+        } else if (Out) {
+          switch (E) {
+          case 'b':
+            Out->push_back('\b');
+            break;
+          case 'f':
+            Out->push_back('\f');
+            break;
+          case 'n':
+            Out->push_back('\n');
+            break;
+          case 'r':
+            Out->push_back('\r');
+            break;
+          case 't':
+            Out->push_back('\t');
+            break;
+          default:
+            Out->push_back(E); // '"', '\\', '/'
+          }
         }
         ++Pos;
       } else if (static_cast<unsigned char>(C) < 0x20) {
         return fail("unescaped control character");
       } else {
+        if (Out)
+          Out->push_back(C);
         ++Pos;
       }
     }
     return fail("unterminated string");
   }
 
-  bool number() {
+  bool number(double *Out = nullptr) {
     const size_t Start = Pos;
     if (Pos < Text.size() && Text[Pos] == '-')
       ++Pos;
@@ -255,10 +302,15 @@ struct JsonParser {
              std::isdigit(static_cast<unsigned char>(Text[Pos])))
         ++Pos;
     }
-    return Pos > Start;
+    if (Pos <= Start)
+      return false;
+    if (Out)
+      *Out = std::strtod(Text.c_str() + Start, nullptr);
+    return true;
   }
 
-  bool value(int Depth) {
+  /// Validate (Out == nullptr) or parse-and-build one value.
+  bool value(int Depth, JsonValue *Out = nullptr) {
     if (Depth > MaxDepth)
       return fail("nesting too deep");
     skipWs();
@@ -266,6 +318,8 @@ struct JsonParser {
       return fail("unexpected end of input");
     switch (Text[Pos]) {
     case '{': {
+      if (Out)
+        Out->K = JsonValue::Kind::Object;
       ++Pos;
       skipWs();
       if (Pos < Text.size() && Text[Pos] == '}') {
@@ -274,13 +328,19 @@ struct JsonParser {
       }
       while (true) {
         skipWs();
-        if (!string())
+        std::string Key;
+        if (!string(Out ? &Key : nullptr))
           return false;
         skipWs();
         if (Pos >= Text.size() || Text[Pos] != ':')
           return fail("expected ':'");
         ++Pos;
-        if (!value(Depth + 1))
+        JsonValue *Slot = nullptr;
+        if (Out) {
+          Out->Members.emplace_back(std::move(Key), JsonValue{});
+          Slot = &Out->Members.back().second;
+        }
+        if (!value(Depth + 1, Slot))
           return false;
         skipWs();
         if (Pos < Text.size() && Text[Pos] == ',') {
@@ -295,6 +355,8 @@ struct JsonParser {
       }
     }
     case '[': {
+      if (Out)
+        Out->K = JsonValue::Kind::Array;
       ++Pos;
       skipWs();
       if (Pos < Text.size() && Text[Pos] == ']') {
@@ -302,7 +364,12 @@ struct JsonParser {
         return true;
       }
       while (true) {
-        if (!value(Depth + 1))
+        JsonValue *Slot = nullptr;
+        if (Out) {
+          Out->Items.emplace_back();
+          Slot = &Out->Items.back();
+        }
+        if (!value(Depth + 1, Slot))
           return false;
         skipWs();
         if (Pos < Text.size() && Text[Pos] == ',') {
@@ -317,24 +384,37 @@ struct JsonParser {
       }
     }
     case '"':
-      return string();
+      if (Out)
+        Out->K = JsonValue::Kind::String;
+      return string(Out ? &Out->Str : nullptr);
     case 't':
+      if (Out) {
+        Out->K = JsonValue::Kind::Bool;
+        Out->B = true;
+      }
       return literal("true");
     case 'f':
+      if (Out) {
+        Out->K = JsonValue::Kind::Bool;
+        Out->B = false;
+      }
       return literal("false");
     case 'n':
+      if (Out)
+        Out->K = JsonValue::Kind::Null;
       return literal("null");
     default:
-      return number();
+      if (Out)
+        Out->K = JsonValue::Kind::Number;
+      return number(Out ? &Out->Num : nullptr);
     }
   }
 };
 
-} // namespace
-
-bool validateJson(const std::string &Text, std::string *Error) {
+/// Run the parser over the whole input, tree-building when Out != nullptr.
+bool parseWhole(const std::string &Text, JsonValue *Out, std::string *Error) {
   JsonParser P(Text);
-  bool Ok = P.value(0);
+  bool Ok = P.value(0, Out);
   if (Ok) {
     P.skipWs();
     if (P.Pos != Text.size()) {
@@ -345,6 +425,26 @@ bool validateJson(const std::string &Text, std::string *Error) {
   if (!Ok && Error)
     *Error = P.Error;
   return Ok;
+}
+
+} // namespace
+
+bool validateJson(const std::string &Text, std::string *Error) {
+  return parseWhole(Text, nullptr, Error);
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Members)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+bool parseJson(const std::string &Text, JsonValue &Out, std::string *Error) {
+  Out = JsonValue{};
+  return parseWhole(Text, &Out, Error);
 }
 
 } // namespace genprove

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace genprove {
@@ -61,6 +62,45 @@ std::string jsonEscape(const std::string &Text);
 /// True when \p Text is one complete, well-formed JSON value. On failure,
 /// \p Error (if non-null) receives a short description with an offset.
 bool validateJson(const std::string &Text, std::string *Error = nullptr);
+
+/// A parsed JSON value. The shard worker protocol (and later the serve
+/// protocol) needs to *read* the messages JsonWriter emits, not just
+/// validate them; this is the minimal tree the same recursive-descent
+/// grammar produces. Numbers are parsed with strtod, so doubles written
+/// with JsonWriter's %.17g round-trip bit-exactly — the property the
+/// cross-process sound-bound merge relies on.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Items;                          ///< Array
+  std::vector<std::pair<std::string, JsonValue>> Members; ///< Object
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  // Tolerant typed accessors: the fallback is returned on any kind
+  // mismatch, so protocol readers can state defaults in one place.
+  double numberOr(double Fallback) const {
+    return K == Kind::Number ? Num : Fallback;
+  }
+  int64_t intOr(int64_t Fallback) const {
+    return K == Kind::Number ? static_cast<int64_t>(Num) : Fallback;
+  }
+  bool boolOr(bool Fallback) const { return K == Kind::Bool ? B : Fallback; }
+  const std::string &stringOr(const std::string &Fallback) const {
+    return K == Kind::String ? Str : Fallback;
+  }
+};
+
+/// Parse one complete JSON value (same grammar as validateJson, including
+/// the trailing-garbage check). False on malformed input, with \p Error
+/// describing the first problem.
+bool parseJson(const std::string &Text, JsonValue &Out,
+               std::string *Error = nullptr);
 
 } // namespace genprove
 

@@ -1,0 +1,237 @@
+//===- shard/process_launcher.cpp -----------------------------*- C++ -*-===//
+
+#include "src/shard/process_launcher.h"
+
+#include "src/shard/protocol.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace genprove {
+
+namespace {
+
+/// Async-signal-safe mirror of the live worker pids. A fixed array of
+/// atomics: the signal handler may only loop and ::kill, never allocate.
+constexpr size_t MaxTrackedChildren = 256;
+std::atomic<pid_t> TrackedChildren[MaxTrackedChildren];
+
+void trackChild(pid_t Pid) {
+  for (size_t I = 0; I < MaxTrackedChildren; ++I) {
+    pid_t Expected = 0;
+    if (TrackedChildren[I].compare_exchange_strong(Expected, Pid))
+      return;
+  }
+}
+
+void untrackChild(pid_t Pid) {
+  for (size_t I = 0; I < MaxTrackedChildren; ++I) {
+    pid_t Expected = Pid;
+    if (TrackedChildren[I].compare_exchange_strong(Expected, 0))
+      return;
+  }
+}
+
+} // namespace
+
+void killAllShardChildren(int Signal) {
+  for (size_t I = 0; I < MaxTrackedChildren; ++I) {
+    const pid_t Pid = TrackedChildren[I].load(std::memory_order_relaxed);
+    if (Pid > 0)
+      ::kill(Pid, Signal);
+  }
+}
+
+ProcessShardLauncher::ProcessShardLauncher(std::string ExePath,
+                                           std::vector<std::string> BaseArgs)
+    : ExePath(std::move(ExePath)), BaseArgs(std::move(BaseArgs)) {}
+
+ProcessShardLauncher::~ProcessShardLauncher() {
+  for (auto &Entry : Children) {
+    Child &C = Entry.second;
+    if (C.Pid > 0) {
+      ::kill(C.Pid, SIGKILL);
+      int Status = 0;
+      (void)waitpid(C.Pid, &Status, 0);
+      untrackChild(C.Pid);
+    }
+    if (C.PipeFd >= 0)
+      ::close(C.PipeFd);
+  }
+}
+
+bool ProcessShardLauncher::launch(const AttemptPlan &Plan) {
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    return false;
+
+  std::vector<std::string> Args = BaseArgs;
+  Args.push_back("--shard-worker");
+  Args.push_back(std::to_string(Plan.Shard));
+  Args.push_back("--shard-attempt");
+  Args.push_back(std::to_string(Plan.Attempt));
+  Args.push_back("--shard-rung");
+  Args.push_back(std::to_string(static_cast<int64_t>(Plan.Rung)));
+
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 2);
+  Argv.push_back(const_cast<char *>(ExePath.c_str()));
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  const pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: protocol messages go to the pipe, human noise stays on the
+    // inherited stderr. Default signal dispositions so the supervisor's
+    // SIGKILL/SIGTERM semantics are undisturbed by coordinator handlers.
+    ::close(Fds[0]);
+    if (::dup2(Fds[1], STDOUT_FILENO) < 0)
+      _exit(127);
+    ::close(Fds[1]);
+    signal(SIGINT, SIG_DFL);
+    signal(SIGTERM, SIG_DFL);
+    ::execv(ExePath.c_str(), Argv.data());
+    _exit(127); // exec failed; classified as Crash by the parent
+  }
+
+  ::close(Fds[1]);
+  const int Flags = ::fcntl(Fds[0], F_GETFL, 0);
+  ::fcntl(Fds[0], F_SETFL, Flags | O_NONBLOCK);
+
+  Child C;
+  C.Pid = Pid;
+  C.PipeFd = Fds[0];
+  trackChild(Pid);
+  Children[Plan.Shard] = std::move(C);
+  return true;
+}
+
+bool ProcessShardLauncher::drainPipe(Child &C) {
+  bool Heartbeat = false;
+  if (C.PipeFd < 0)
+    return false;
+  char Buf[4096];
+  while (true) {
+    const ssize_t N = ::read(C.PipeFd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.Buffer.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    break; // EOF or EAGAIN
+  }
+  size_t Start = 0;
+  while (true) {
+    const size_t Nl = C.Buffer.find('\n', Start);
+    if (Nl == std::string::npos)
+      break;
+    const std::string Line = C.Buffer.substr(Start, Nl - Start);
+    Start = Nl + 1;
+    switch (classifyShardMessage(Line)) {
+    case ShardMessageKind::Heartbeat:
+      Heartbeat = true;
+      break;
+    case ShardMessageKind::Result:
+      C.ResultLine = Line;
+      break;
+    case ShardMessageKind::Invalid:
+      break; // stray stdout noise; ignored, the result must still parse
+    }
+  }
+  C.Buffer.erase(0, Start);
+  C.SawHeartbeat = C.SawHeartbeat || Heartbeat;
+  return Heartbeat;
+}
+
+WorkerPoll ProcessShardLauncher::classifyExit(Child &C, int Status) {
+  WorkerPoll P;
+  P.Finished = true;
+  if (WIFSIGNALED(Status)) {
+    P.Outcome = WTERMSIG(Status) == SIGKILL ? AttemptOutcome::OomKill
+                                            : AttemptOutcome::Crash;
+    return P;
+  }
+  const int Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  if (Code == 3) {
+    P.Outcome = AttemptOutcome::Oom;
+    return P;
+  }
+  if (Code == 2) {
+    P.Outcome = AttemptOutcome::Fatal;
+    return P;
+  }
+  if (Code != 0 && Code != 4) {
+    P.Outcome = AttemptOutcome::Crash;
+    return P;
+  }
+  if (!C.ResultLine.empty() && decodeShardResult(C.ResultLine, P.Result)) {
+    P.Outcome = AttemptOutcome::Ok;
+    return P;
+  }
+  P.Outcome = AttemptOutcome::Protocol;
+  return P;
+}
+
+WorkerPoll ProcessShardLauncher::poll(int64_t Shard) {
+  WorkerPoll P;
+  auto It = Children.find(Shard);
+  if (It == Children.end()) {
+    P.Finished = true;
+    P.Outcome = AttemptOutcome::Crash;
+    return P;
+  }
+  Child &C = It->second;
+  P.HeartbeatSeen = drainPipe(C);
+
+  int Status = 0;
+  const pid_t R = ::waitpid(C.Pid, &Status, WNOHANG);
+  if (R == 0)
+    return P; // still running
+  // Exited (or waitpid failed, treated as gone): drain the tail of the
+  // pipe — the result line usually lands in the same quantum as the exit.
+  const bool TailBeat = drainPipe(C);
+  const bool Beat = P.HeartbeatSeen || TailBeat;
+  untrackChild(C.Pid);
+  if (C.PipeFd >= 0)
+    ::close(C.PipeFd);
+  P = classifyExit(C, R == C.Pid ? Status : 0);
+  if (R != C.Pid && P.Outcome == AttemptOutcome::Ok) {
+    // waitpid error with a decodable result: accept it, it is sound.
+  } else if (R != C.Pid && P.Outcome != AttemptOutcome::Ok) {
+    P.Outcome = AttemptOutcome::Crash;
+  }
+  P.HeartbeatSeen = Beat;
+  Children.erase(It);
+  return P;
+}
+
+void ProcessShardLauncher::kill(int64_t Shard) {
+  auto It = Children.find(Shard);
+  if (It == Children.end())
+    return;
+  Child &C = It->second;
+  if (C.Pid > 0) {
+    ::kill(C.Pid, SIGKILL);
+    int Status = 0;
+    (void)waitpid(C.Pid, &Status, 0);
+    untrackChild(C.Pid);
+  }
+  if (C.PipeFd >= 0)
+    ::close(C.PipeFd);
+  Children.erase(It);
+}
+
+} // namespace genprove

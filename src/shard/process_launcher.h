@@ -1,0 +1,80 @@
+//===- shard/process_launcher.h - fork/exec worker launcher ----*- C++ -*-===//
+///
+/// \file
+/// The production ShardWorkerLauncher: each attempt forks and re-execs
+/// this binary (`/proc/self/exe`) with `--shard-worker K` plus the
+/// attempt's rung/attempt flags, captures the worker's stdout through a
+/// non-blocking pipe, and classifies the exit status:
+///
+///   exit 0/4 + a valid result line  → Ok
+///   exit 3 (simulated-device OOM)   → Oom       (retryable)
+///   exit 2 (usage/config error)     → Fatal     (retrying cannot help)
+///   SIGKILL                         → OomKill   (the kernel OOM killer)
+///   any other signal                → Crash
+///   clean exit, unparseable result  → Protocol
+///
+/// fork-without-exec is deliberately avoided: the coordinator may hold a
+/// live thread pool, and a forked child inheriting its locked state would
+/// deadlock in malloc. Re-exec gives every worker a pristine process.
+///
+/// Live worker pids are mirrored into an async-signal-safe registry so the
+/// CLI's SIGINT/SIGTERM handler can kill the whole brood before exiting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_SHARD_PROCESS_LAUNCHER_H
+#define GENPROVE_SHARD_PROCESS_LAUNCHER_H
+
+#include "src/shard/supervisor.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace genprove {
+
+/// Kill every live shard worker with \p Signal. Async-signal-safe: callable
+/// from the coordinator's SIGINT/SIGTERM handler.
+void killAllShardChildren(int Signal);
+
+/// Fork/exec launcher over this very binary.
+class ProcessShardLauncher : public ShardWorkerLauncher {
+public:
+  /// \p BaseArgs is the worker argv *without* argv[0] and without the
+  /// shard-attempt flags (the coordinator's own args minus the
+  /// coordinator-only ones); launch() appends
+  /// `--shard-worker K --shard-attempt A --shard-rung R`.
+  /// \p ExePath is the binary to exec (normally /proc/self/exe).
+  ProcessShardLauncher(std::string ExePath, std::vector<std::string> BaseArgs);
+  ~ProcessShardLauncher() override;
+
+  bool launch(const AttemptPlan &Plan) override;
+  WorkerPoll poll(int64_t Shard) override;
+  void kill(int64_t Shard) override;
+
+private:
+  struct Child {
+    pid_t Pid = -1;
+    int PipeFd = -1;       ///< non-blocking read end of the worker's stdout
+    std::string Buffer;    ///< partial line carried across polls
+    std::string ResultLine; ///< last complete result message seen
+    bool SawHeartbeat = false;
+  };
+
+  /// Drain available pipe bytes into the child's buffer and consume
+  /// complete lines; returns true when any heartbeat arrived.
+  bool drainPipe(Child &C);
+
+  /// Reap an exited child and classify the attempt.
+  WorkerPoll classifyExit(Child &C, int Status);
+
+  std::string ExePath;
+  std::vector<std::string> BaseArgs;
+  std::map<int64_t, Child> Children;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_SHARD_PROCESS_LAUNCHER_H

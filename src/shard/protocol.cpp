@@ -1,0 +1,133 @@
+//===- shard/protocol.cpp -------------------------------------*- C++ -*-===//
+
+#include "src/shard/protocol.h"
+
+#include "src/obs/json.h"
+
+namespace genprove {
+
+std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq) {
+  JsonWriter W;
+  W.beginObject()
+      .key("type")
+      .value("heartbeat")
+      .key("shard")
+      .value(Shard)
+      .key("seq")
+      .value(Seq)
+      .endObject();
+  return W.str();
+}
+
+std::string encodeShardResult(const ShardResult &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("type").value("result");
+  W.key("shard").value(R.Shard);
+  W.key("attempt").value(R.Attempt);
+  W.key("rung").value(R.Rung);
+  W.key("seconds").value(R.Seconds);
+  W.key("peak_bytes").value(R.PeakBytes);
+  W.key("max_regions").value(R.MaxRegions);
+  W.key("max_nodes").value(R.MaxNodes);
+  W.key("retries").value(R.Retries);
+  W.key("rollbacks").value(R.Rollbacks);
+  W.key("fallback_box_layers").value(R.FallbackBoxLayers);
+  W.key("quarantined_mass").value(R.QuarantinedMass);
+  W.key("degraded").value(R.Degraded);
+  W.key("deadline_hit").value(R.DeadlineHit);
+  W.key("oom").value(R.OutOfMemory);
+  W.key("specs").beginArray();
+  for (const ShardSpecBounds &B : R.Specs) {
+    W.beginObject()
+        .key("lower")
+        .value(B.Lower)
+        .key("upper")
+        .value(B.Upper)
+        .key("degraded")
+        .value(B.Degraded)
+        .endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+ShardMessageKind classifyShardMessage(const std::string &Line) {
+  JsonValue V;
+  if (!parseJson(Line, V))
+    return ShardMessageKind::Invalid;
+  const JsonValue *Type = V.find("type");
+  if (!Type)
+    return ShardMessageKind::Invalid;
+  const std::string &Kind = Type->stringOr("");
+  if (Kind == "heartbeat")
+    return ShardMessageKind::Heartbeat;
+  if (Kind == "result")
+    return ShardMessageKind::Result;
+  return ShardMessageKind::Invalid;
+}
+
+bool decodeShardResult(const std::string &Line, ShardResult &Out,
+                       std::string *Error) {
+  JsonValue V;
+  if (!parseJson(Line, V, Error))
+    return false;
+  const JsonValue *Type = V.find("type");
+  if (!Type || Type->stringOr("") != "result") {
+    if (Error)
+      *Error = "not a result message";
+    return false;
+  }
+  Out = ShardResult{};
+  auto Int = [&](const char *Key, int64_t Fallback) {
+    const JsonValue *F = V.find(Key);
+    return F ? F->intOr(Fallback) : Fallback;
+  };
+  auto Num = [&](const char *Key, double Fallback) {
+    const JsonValue *F = V.find(Key);
+    return F ? F->numberOr(Fallback) : Fallback;
+  };
+  auto Flag = [&](const char *Key, bool Fallback) {
+    const JsonValue *F = V.find(Key);
+    return F ? F->boolOr(Fallback) : Fallback;
+  };
+  Out.Shard = Int("shard", -1);
+  Out.Attempt = Int("attempt", 0);
+  Out.Rung = Int("rung", 0);
+  Out.Seconds = Num("seconds", 0.0);
+  Out.PeakBytes = Int("peak_bytes", 0);
+  Out.MaxRegions = Int("max_regions", 0);
+  Out.MaxNodes = Int("max_nodes", 0);
+  Out.Retries = Int("retries", 0);
+  Out.Rollbacks = Int("rollbacks", 0);
+  Out.FallbackBoxLayers = Int("fallback_box_layers", 0);
+  Out.QuarantinedMass = Num("quarantined_mass", 0.0);
+  Out.Degraded = Flag("degraded", false);
+  Out.DeadlineHit = Flag("deadline_hit", false);
+  Out.OutOfMemory = Flag("oom", false);
+  if (const JsonValue *Specs = V.find("specs");
+      Specs && Specs->K == JsonValue::Kind::Array) {
+    Out.Specs.reserve(Specs->Items.size());
+    for (const JsonValue &S : Specs->Items) {
+      ShardSpecBounds B;
+      // A missing bound decodes to the conservative extreme, never to a
+      // tighter-than-reported interval.
+      const JsonValue *Lo = S.find("lower");
+      const JsonValue *Hi = S.find("upper");
+      B.Lower = Lo ? Lo->numberOr(0.0) : 0.0;
+      B.Upper = Hi ? Hi->numberOr(1.0) : 1.0;
+      const JsonValue *Deg = S.find("degraded");
+      B.Degraded = Deg ? Deg->boolOr(false) : false;
+      Out.Specs.push_back(B);
+    }
+  }
+  if (Out.Shard < 0) {
+    if (Error)
+      *Error = "result message missing shard index";
+    return false;
+  }
+  return true;
+}
+
+} // namespace genprove

@@ -1,0 +1,51 @@
+//===- shard/protocol.h - Coordinator/worker wire protocol -----*- C++ -*-===//
+///
+/// \file
+/// The pipe protocol between the shard coordinator and its worker
+/// processes: newline-delimited JSON messages on the worker's stdout,
+/// written with the src/obs/json JsonWriter and read back with its
+/// parser. Two message types:
+///
+///  * heartbeat — `{"type":"heartbeat","shard":K,"seq":N}`, emitted
+///    periodically by a live worker so the supervisor can distinguish a
+///    slow shard from a wedged one;
+///  * result — `{"type":"result",...}`, the worker's ShardResult, emitted
+///    exactly once right before a clean exit.
+///
+/// Doubles are serialized with %.17g and parsed with strtod, which
+/// round-trips every finite IEEE-754 double bit-exactly — the merged
+/// bounds are therefore exactly the bounds the workers computed, and the
+/// directed-rounding soundness argument survives the process boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_SHARD_PROTOCOL_H
+#define GENPROVE_SHARD_PROTOCOL_H
+
+#include "src/shard/shard.h"
+
+#include <string>
+
+namespace genprove {
+
+/// Message classification for one protocol line.
+enum class ShardMessageKind : uint8_t { Heartbeat, Result, Invalid };
+
+/// One heartbeat line (no trailing newline).
+std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq);
+
+/// One result line (no trailing newline).
+std::string encodeShardResult(const ShardResult &Result);
+
+/// Classify a protocol line without fully decoding it.
+ShardMessageKind classifyShardMessage(const std::string &Line);
+
+/// Decode a result line. False (with \p Error set when non-null) on
+/// malformed JSON or a message that is not a result; fields the message
+/// omits keep their (conservative) defaults.
+bool decodeShardResult(const std::string &Line, ShardResult &Out,
+                       std::string *Error = nullptr);
+
+} // namespace genprove
+
+#endif // GENPROVE_SHARD_PROTOCOL_H

@@ -12,6 +12,7 @@
 //                [--budget-mb 240] [--deterministic] [--arcsine]
 //                [--splits N] [--schedule A|B] [--threads N]
 //                [--resilient] [--deadline-ms D]
+//                [--shards N] [--shard-retries R] [--shard-deadline-ms D]
 //                [--report] [--trace-out FILE.json] [--metrics-out FILE.json]
 //
 // Latent vector files contain whitespace-separated doubles; non-finite
@@ -20,13 +21,22 @@
 //
 // Exit codes: 0 = analysis completed, 2 = usage/input error,
 // 3 = simulated-device out-of-memory, 4 = sound but degraded (resilience
-// ladder fired; the reported interval is valid but widened). README.md
-// documents the contract.
+// ladder or shard supervision fired; the reported interval is valid but
+// widened), 5 = interrupted (SIGINT/SIGTERM; partial telemetry flushed).
+// README.md and docs/ROBUSTNESS.md document the contract.
+//
+// With --shards N the region set is partitioned into N disjoint parameter
+// sub-ranges, each certified by a supervised worker process (this binary
+// re-exec'd with --shard-worker); crashes, hangs and OOM-kills are retried
+// with backoff up an escalation ladder and, as a last resort, bounded by a
+// sound interval-box fallback — the merged certificate is then DEGRADED
+// but never wrong. docs/ROBUSTNESS.md describes the supervision ladder.
 //
 // Fault-injection flags (--inject-oom-layer, --inject-oom-count,
-// --inject-nan-layer, --clock-skew-ms) drive the deterministic harness of
-// src/domains/fault_injection.h; they exist for the CI smoke job and for
-// reproducing degradation paths by hand (docs/ROBUSTNESS.md).
+// --inject-nan-layer, --clock-skew-ms, --inject-worker-fault) drive the
+// deterministic harness of src/domains/fault_injection.h and the shard
+// smoke job; they exist for CI and for reproducing degradation paths by
+// hand (docs/ROBUSTNESS.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,17 +47,26 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/parallel/thread_pool.h"
+#include "src/shard/process_launcher.h"
+#include "src/shard/protocol.h"
+#include "src/shard/supervisor.h"
 #include "src/util/table.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace genprove;
 
@@ -69,6 +88,8 @@ namespace {
       "                    [--splits N]\n"
       "                    [--schedule A|B] [--threads N]\n"
       "                    [--resilient] [--deadline-ms D]\n"
+      "                    [--shards N] [--shard-retries R]\n"
+      "                    [--shard-deadline-ms D] [--shard-heartbeat-ms T]\n"
       "                    [--report] [--trace-out FILE.json]\n"
       "                    [--metrics-out FILE.json]\n"
       "\n"
@@ -91,12 +112,32 @@ namespace {
       "                      layers run as a single interval box (implies\n"
       "                      --resilient)\n"
       "\n"
+      "sharding (supervised worker processes; docs/ROBUSTNESS.md):\n"
+      "  --shards N            partition the input range into N disjoint\n"
+      "                        shards, each certified by a worker process;\n"
+      "                        crashes/hangs/OOM-kills are retried with\n"
+      "                        backoff and, exhausted, bounded by a sound\n"
+      "                        interval fallback (verdict DEGRADED).\n"
+      "                        Incompatible with --splits.\n"
+      "  --shard-retries R     retries per shard after the first attempt\n"
+      "                        (default 3)\n"
+      "  --shard-deadline-ms D per-attempt wall clock; a worker outliving\n"
+      "                        it is killed and retried (default: none)\n"
+      "  --shard-heartbeat-ms T kill a worker silent for T ms (default\n"
+      "                        2000)\n"
+      "\n"
       "fault injection (deterministic; for tests and CI):\n"
       "  --inject-oom-layer L   force device charges to fail at layer L\n"
       "  --inject-oom-count N   how many charges fail there (default 1)\n"
       "  --inject-nan-layer L   poison the state with NaN after layer L\n"
       "  --clock-skew-ms M      advance an injected clock M ms per layer\n"
       "                         (deadline tests run off this clock)\n"
+      "  --inject-worker-fault MODE:SHARD[:ATTEMPTS[:MS]]\n"
+      "                         make shard SHARD's first ATTEMPTS worker\n"
+      "                         attempts fail: crash (abort), oomkill\n"
+      "                         (SIGKILL), hang (silent sleep; the\n"
+      "                         supervisor's heartbeat timeout must fire),\n"
+      "                         slow (sleep MS while heartbeating)\n"
       "\n"
       "observability:\n"
       "  --report            print a per-layer telemetry table (regions,\n"
@@ -108,7 +149,8 @@ namespace {
       "\n"
       "exit codes: 0 analysis completed, 2 usage or input error,\n"
       "            3 simulated-device out of memory,\n"
-      "            4 sound but degraded (interval is valid but widened)\n");
+      "            4 sound but degraded (interval is valid but widened),\n"
+      "            5 interrupted (SIGINT/SIGTERM; telemetry flushed)\n");
   std::exit(2);
 }
 
@@ -238,6 +280,111 @@ void printLayerReport(const std::vector<LayerRecord> &Layers) {
   std::printf("per-layer telemetry:\n%s", Table.render().c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Graceful shutdown: SIGINT/SIGTERM kill the worker brood, flush whatever
+// telemetry exists, and exit with the dedicated code 5 so scripts can tell
+// an interrupted run from a failed one.
+//===----------------------------------------------------------------------===//
+
+std::string ShutdownTracePath;   // set once after parsing, read by handler
+std::string ShutdownMetricsPath;
+std::atomic<bool> ShuttingDown{false};
+
+void handleShutdownSignal(int) {
+  // Re-entrant delivery (e.g. double ^C) must not re-run the flush.
+  if (ShuttingDown.exchange(true))
+    _exit(5);
+  killAllShardChildren(SIGKILL);
+  if (!ShutdownMetricsPath.empty())
+    MetricsRegistry::global().writeJson(ShutdownMetricsPath);
+  if (!ShutdownTracePath.empty())
+    TraceSession::global().writeChromeTrace(ShutdownTracePath);
+  _exit(5);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker-side fault injection (--inject-worker-fault MODE:SHARD[:A[:MS]])
+//===----------------------------------------------------------------------===//
+
+struct WorkerFaultPlan {
+  std::string Mode;      ///< crash | hang | oomkill | slow
+  int64_t Shard = -1;
+  int64_t Attempts = 1;  ///< fires while Attempt < Attempts
+  double Millis = 600000; ///< hang/slow duration
+  bool Active = false;
+};
+
+WorkerFaultPlan parseWorkerFault(const std::string &Text) {
+  WorkerFaultPlan Plan;
+  std::istringstream In(Text);
+  std::string Part;
+  if (!std::getline(In, Part, ':'))
+    usage("bad --inject-worker-fault (want MODE:SHARD[:ATTEMPTS[:MS]])");
+  Plan.Mode = Part;
+  if (Plan.Mode != "crash" && Plan.Mode != "hang" && Plan.Mode != "oomkill" &&
+      Plan.Mode != "slow")
+    usage("bad --inject-worker-fault mode (crash|hang|oomkill|slow)");
+  if (!std::getline(In, Part, ':'))
+    usage("--inject-worker-fault needs a shard index");
+  Plan.Shard = std::stoll(Part);
+  if (std::getline(In, Part, ':'))
+    Plan.Attempts = std::stoll(Part);
+  if (std::getline(In, Part, ':'))
+    Plan.Millis = std::stod(Part);
+  if (Plan.Mode == "slow" && Plan.Millis >= 600000)
+    Plan.Millis = 2000; // a kill -9 window, not an eternity
+  Plan.Active = true;
+  return Plan;
+}
+
+/// Fire the injected fault in a worker, if it applies to this attempt.
+/// crash/oomkill never return; hang sleeps silently (no heartbeats — the
+/// supervisor's timeout must detect it); slow sleeps while the heartbeat
+/// thread keeps beating (CI uses the window to kill -9 from outside).
+void maybeFireWorkerFault(const WorkerFaultPlan &Plan, int64_t Shard,
+                          int64_t Attempt) {
+  if (!Plan.Active || Plan.Shard != Shard || Attempt >= Plan.Attempts)
+    return;
+  if (Plan.Mode == "crash")
+    std::abort();
+  if (Plan.Mode == "oomkill")
+    raise(SIGKILL);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(Plan.Millis));
+}
+
+/// Heartbeat emitter: one protocol line every IntervalMs until stopped.
+class HeartbeatThread {
+public:
+  HeartbeatThread(int64_t Shard, double IntervalMs) {
+    Worker = std::thread([this, Shard, IntervalMs] {
+      int64_t Seq = 0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        const std::string Line = encodeShardHeartbeat(Shard, Seq++);
+        std::fprintf(stdout, "%s\n", Line.c_str());
+        std::fflush(stdout);
+        // Sleep in small slices so shutdown is prompt.
+        double Left = IntervalMs;
+        while (Left > 0.0 && !Stop.load(std::memory_order_acquire)) {
+          const double Slice = std::min(Left, 10.0);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(Slice));
+          Left -= Slice;
+        }
+      }
+    });
+  }
+  ~HeartbeatThread() {
+    Stop.store(true, std::memory_order_release);
+    if (Worker.joinable())
+      Worker.join();
+  }
+
+private:
+  std::atomic<bool> Stop{false};
+  std::thread Worker;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -251,6 +398,27 @@ int main(int Argc, char **Argv) {
   FaultPlan Faults;
   bool HaveFaults = false;
 
+  // Sharding state.
+  int64_t Shards = 0;          ///< 0 = unsharded single-process path
+  int64_t ShardWorker = -1;    ///< >= 0: this process IS worker K
+  int64_t ShardAttempt = 0;
+  int64_t ShardRungFlag = 0;
+  int64_t ShardRetries = 3;
+  double ShardDeadlineMs = 0.0;
+  double ShardHeartbeatMs = 2000.0;
+  bool SplitsGiven = false;
+  int64_t ThreadsGiven = 0;
+  WorkerFaultPlan WorkerFault;
+
+  // Args forwarded verbatim to worker processes. Coordinator-only flags
+  // (--shards is re-added explicitly; telemetry, --deterministic, budget
+  // and threads are recomputed per worker) stay out.
+  std::vector<std::string> WorkerArgs;
+  const auto Forward = [&](std::initializer_list<std::string> Parts) {
+    for (const std::string &P : Parts)
+      WorkerArgs.push_back(P);
+  };
+
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
     auto Next = [&]() -> std::string {
@@ -258,68 +426,135 @@ int main(int Argc, char **Argv) {
         usage(("missing value for " + Arg).c_str());
       return Argv[++I];
     };
-    if (Arg == "--net")
-      NetPaths.push_back(Next());
-    else if (Arg == "--input-shape")
+    if (Arg == "--net") {
+      const std::string V = Next();
+      NetPaths.push_back(V);
+      Forward({Arg, V});
+    } else if (Arg == "--input-shape") {
       ShapeText = Next();
-    else if (Arg == "--start")
+      Forward({Arg, ShapeText});
+    } else if (Arg == "--start") {
       StartPath = Next();
-    else if (Arg == "--end")
+      Forward({Arg, StartPath});
+    } else if (Arg == "--end") {
       EndPath = Next();
-    else if (Arg == "--spec")
-      SpecTexts.push_back(Next());
-    else if (Arg == "--threads")
-      ThreadPool::global().setThreads(std::stoll(Next()));
-    else if (Arg == "--p")
-      Config.RelaxPercent = std::stod(Next());
-    else if (Arg == "--k")
-      Config.ClusterK = std::stod(Next());
-    else if (Arg == "--threshold")
-      Config.NodeThreshold = std::stoll(Next());
-    else if (Arg == "--budget-mb")
+      Forward({Arg, EndPath});
+    } else if (Arg == "--spec") {
+      const std::string V = Next();
+      SpecTexts.push_back(V);
+      Forward({Arg, V});
+    } else if (Arg == "--threads") {
+      ThreadsGiven = std::stoll(Next());
+      ThreadPool::global().setThreads(ThreadsGiven);
+    } else if (Arg == "--p") {
+      const std::string V = Next();
+      Config.RelaxPercent = std::stod(V);
+      Forward({Arg, V});
+    } else if (Arg == "--k") {
+      const std::string V = Next();
+      Config.ClusterK = std::stod(V);
+      Forward({Arg, V});
+    } else if (Arg == "--threshold") {
+      const std::string V = Next();
+      Config.NodeThreshold = std::stoll(V);
+      Forward({Arg, V});
+    } else if (Arg == "--budget-mb") {
       Config.MemoryBudgetBytes =
           static_cast<size_t>(std::stoull(Next())) << 20;
-    else if (Arg == "--deterministic")
+    } else if (Arg == "--budget-bytes") {
+      // Byte-granular budget, used when the coordinator forwards each
+      // worker its exact per-shard slice.
+      Config.MemoryBudgetBytes = static_cast<size_t>(std::stoull(Next()));
+    } else if (Arg == "--deterministic") {
       Config.Mode = AnalysisMode::Deterministic;
-    else if (Arg == "--sound")
+    } else if (Arg == "--sound") {
       setSoundRounding(true);
-    else if (Arg == "--arcsine")
+      Forward({Arg});
+    } else if (Arg == "--arcsine") {
       Config.Distribution = ParamDistribution::Arcsine;
-    else if (Arg == "--splits")
+      Forward({Arg});
+    } else if (Arg == "--splits") {
       Config.InputSplits = std::stoll(Next());
-    else if (Arg == "--schedule")
+      SplitsGiven = true;
+    } else if (Arg == "--schedule") {
+      const std::string V = Next();
       Config.Schedule =
-          Next() == "B" ? RefinementSchedule::B : RefinementSchedule::A;
-    else if (Arg == "--resilient")
+          V == "B" ? RefinementSchedule::B : RefinementSchedule::A;
+      Forward({Arg, V});
+    } else if (Arg == "--resilient") {
       Config.Resilience.Enabled = true;
-    else if (Arg == "--deadline-ms") {
+      Forward({Arg});
+    } else if (Arg == "--deadline-ms") {
+      const std::string V = Next();
       Config.Resilience.Enabled = true;
-      Config.Resilience.DeadlineSeconds = std::stod(Next()) / 1000.0;
+      Config.Resilience.DeadlineSeconds = std::stod(V) / 1000.0;
+      Forward({Arg, V});
+    } else if (Arg == "--shards") {
+      Shards = std::stoll(Next());
+      if (Shards < 1)
+        usage("--shards wants N >= 1");
+    } else if (Arg == "--shard-worker") {
+      ShardWorker = std::stoll(Next());
+    } else if (Arg == "--shard-attempt") {
+      ShardAttempt = std::stoll(Next());
+    } else if (Arg == "--shard-rung") {
+      ShardRungFlag = std::stoll(Next());
+    } else if (Arg == "--shard-retries") {
+      ShardRetries = std::stoll(Next());
+    } else if (Arg == "--shard-deadline-ms") {
+      ShardDeadlineMs = std::stod(Next());
+    } else if (Arg == "--shard-heartbeat-ms") {
+      const std::string V = Next();
+      ShardHeartbeatMs = std::stod(V);
+      Forward({Arg, V});
     } else if (Arg == "--inject-oom-layer") {
-      Faults.OomAtLayer = std::stoll(Next());
+      const std::string V = Next();
+      Faults.OomAtLayer = std::stoll(V);
       HaveFaults = true;
+      Forward({Arg, V});
     } else if (Arg == "--inject-oom-count") {
-      Faults.OomFireCount = std::stoll(Next());
+      const std::string V = Next();
+      Faults.OomFireCount = std::stoll(V);
       HaveFaults = true;
+      Forward({Arg, V});
     } else if (Arg == "--inject-nan-layer") {
-      Faults.NanAtLayer = std::stoll(Next());
+      const std::string V = Next();
+      Faults.NanAtLayer = std::stoll(V);
       HaveFaults = true;
+      Forward({Arg, V});
     } else if (Arg == "--clock-skew-ms") {
-      Faults.ClockSkewSecondsPerLayer = std::stod(Next()) / 1000.0;
+      const std::string V = Next();
+      Faults.ClockSkewSecondsPerLayer = std::stod(V) / 1000.0;
       HaveFaults = true;
-    } else if (Arg == "--report")
+      Forward({Arg, V});
+    } else if (Arg == "--inject-worker-fault") {
+      const std::string V = Next();
+      WorkerFault = parseWorkerFault(V);
+      Forward({Arg, V});
+    } else if (Arg == "--report") {
       Report = true;
-    else if (Arg == "--trace-out")
+    } else if (Arg == "--trace-out") {
       TraceOutPath = Next();
-    else if (Arg == "--metrics-out")
+    } else if (Arg == "--metrics-out") {
       MetricsOutPath = Next();
-    else
+    } else {
       usage(("unknown option: " + Arg).c_str());
+    }
   }
 
   if (NetPaths.empty() || StartPath.empty() || EndPath.empty() ||
       ShapeText.empty() || SpecTexts.empty())
     usage("--net, --input-shape, --start, --end and --spec are required");
+  if (Shards > 0 && SplitsGiven)
+    usage("--shards and --splits are mutually exclusive (a shard is an "
+          "input split that runs in its own process)");
+  if (ShardWorker >= 0 && Shards < 1)
+    usage("--shard-worker needs --shards N");
+  if (ShardWorker >= 0 && ShardWorker >= Shards)
+    usage("--shard-worker index out of range");
+
+  const bool IsWorker = ShardWorker >= 0;
+  const bool IsCoordinator = !IsWorker && Shards > 0;
 
   // The fault-injection harness lives for the whole analysis; a skewed
   // clock replaces the wall clock so deadline runs are deterministic.
@@ -335,6 +570,16 @@ int main(int Argc, char **Argv) {
     setTraceEnabled(true);
   if (!MetricsOutPath.empty() || Report)
     setMetricsEnabled(true);
+
+  // Graceful shutdown (not in workers: the supervisor owns their
+  // lifecycle, and a worker's SIGKILL/SIGTERM semantics must stay raw so
+  // exit-status classification works).
+  if (!IsWorker) {
+    ShutdownTracePath = TraceOutPath;
+    ShutdownMetricsPath = MetricsOutPath;
+    std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGTERM, handleShutdownSignal);
+  }
 
   // Load the pipeline.
   std::vector<Sequential> Networks;
@@ -380,6 +625,185 @@ int main(int Argc, char **Argv) {
   std::vector<OutputSpec> Specs;
   for (const std::string &Text : SpecTexts)
     Specs.push_back(parseSpec(Text));
+
+  //===--------------------------------------------------------------------===//
+  // Worker mode: certify one shard, speak the wire protocol on stdout.
+  //===--------------------------------------------------------------------===//
+  if (IsWorker) {
+    // crash/oomkill/hang fire before heartbeats start (a hang must be
+    // silent for the supervisor's timeout to be what catches it); slow
+    // fires inside the heartbeat scope so the worker stays visibly alive
+    // through its stall — that is the external-kill window CI uses.
+    const bool SlowFault = WorkerFault.Active && WorkerFault.Mode == "slow";
+    if (!SlowFault)
+      maybeFireWorkerFault(WorkerFault, ShardWorker, ShardAttempt);
+
+    ShardWorkContext Ctx;
+    Ctx.Pipeline = Pipeline;
+    Ctx.InputShape = InputShape;
+    Ctx.Start = Start;
+    Ctx.End = End;
+    Ctx.Specs = Specs;
+    Ctx.Config = Config; // budget already the per-shard slice
+    Ctx.NumShards = Shards;
+
+    AttemptPlan Plan;
+    Plan.Shard = ShardWorker;
+    Plan.Attempt = ShardAttempt;
+    Plan.Rung = static_cast<ShardRung>(
+        std::clamp<int64_t>(ShardRungFlag, 0, 2));
+
+    ShardResult Result;
+    {
+      // Heartbeats flow for the whole propagation; the emitter interval
+      // stays well under the supervisor's kill timeout.
+      const double IntervalMs =
+          std::clamp(ShardHeartbeatMs / 4.0, 10.0, 250.0);
+      HeartbeatThread Beat(ShardWorker, IntervalMs);
+      if (SlowFault)
+        maybeFireWorkerFault(WorkerFault, ShardWorker, ShardAttempt);
+      Result = runShardAttempt(Ctx, Plan);
+    }
+    if (Result.OutOfMemory) {
+      // No sound partial bounds to report; exit 3 tells the supervisor
+      // this attempt is retryable at a higher rung.
+      std::fprintf(stderr, "genprove_cli: shard %lld out of memory\n",
+                   static_cast<long long>(ShardWorker));
+      return 3;
+    }
+    const std::string Line = encodeShardResult(Result);
+    std::fprintf(stdout, "%s\n", Line.c_str());
+    std::fflush(stdout);
+    return Result.Degraded ? 4 : 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Coordinator mode: supervise one worker process per shard and merge.
+  //===--------------------------------------------------------------------===//
+  if (IsCoordinator) {
+    const size_t PerShardBudget =
+        Config.MemoryBudgetBytes == 0
+            ? 0
+            : std::max<size_t>(Config.MemoryBudgetBytes /
+                                   static_cast<size_t>(Shards),
+                               1);
+    Forward({"--shards", std::to_string(Shards)});
+    if (PerShardBudget > 0)
+      Forward({"--budget-bytes", std::to_string(PerShardBudget)});
+    if (ThreadsGiven > 0)
+      Forward({"--threads",
+               std::to_string(std::max<int64_t>(ThreadsGiven / Shards, 1))});
+
+    GenProveConfig ShardConfig = Config;
+    ShardConfig.MemoryBudgetBytes = PerShardBudget;
+    ShardWorkContext Ctx;
+    Ctx.Pipeline = Pipeline;
+    Ctx.InputShape = InputShape;
+    Ctx.Start = Start;
+    Ctx.End = End;
+    Ctx.Specs = Specs;
+    Ctx.Config = ShardConfig;
+    Ctx.NumShards = Shards;
+
+    ShardPolicy Policy;
+    Policy.NumShards = Shards;
+    Policy.MaxRetries = ShardRetries;
+    Policy.ShardDeadlineSeconds = ShardDeadlineMs / 1000.0;
+    Policy.HeartbeatTimeoutSeconds = ShardHeartbeatMs / 1000.0;
+
+    ProcessShardLauncher Launcher("/proc/self/exe", WorkerArgs);
+    // Coordinator-side admission: a Configured-rung worker whose *input*
+    // state already busts the per-shard budget is doomed — skip straight
+    // to the resilient rung. Uses the same tryCharge the engine uses, so
+    // the rejection shows up in the device.* metrics.
+    DeviceMemoryModel Admission(PerShardBudget);
+    const int64_t Latent = Start.numel();
+    const auto Admit = [&](const AttemptPlan &) {
+      return Admission.tryChargeState(2, Latent);
+    };
+    // Last resort for an exhausted shard: the sound interval-box bound,
+    // computed in-process (the IntervalBox rung cannot OOM or crash).
+    const auto Fallback = [&](int64_t Shard) {
+      AttemptPlan Plan;
+      Plan.Shard = Shard;
+      Plan.Attempt = ShardRetries + 1;
+      Plan.Rung = ShardRung::IntervalBox;
+      return runShardAttempt(Ctx, Plan);
+    };
+
+    ShardSupervisor Supervisor(Policy, Launcher, Fallback, Admit);
+    const ShardRunSummary Summary = Supervisor.run();
+    const int64_t NumSpecs = static_cast<int64_t>(Specs.size());
+    MergedCertificate Merged = mergeShardResults(Summary.Results, NumSpecs);
+    const bool Degraded = Merged.Degraded || Summary.Degraded;
+
+    if (!TraceOutPath.empty() &&
+        !TraceSession::global().writeChromeTrace(TraceOutPath))
+      std::fprintf(stderr, "genprove_cli: cannot write trace to %s\n",
+                   TraceOutPath.c_str());
+    if (!MetricsOutPath.empty() &&
+        !MetricsRegistry::global().writeJson(MetricsOutPath))
+      std::fprintf(stderr, "genprove_cli: cannot write metrics to %s\n",
+                   MetricsOutPath.c_str());
+
+    for (size_t I = 0; I < Specs.size(); ++I) {
+      ProbBounds Bounds = Merged.Specs[I];
+      Bounds.Degraded = Bounds.Degraded || Degraded;
+      // The deterministic collapse happens on the *merged* bounds; a
+      // per-shard collapse would destroy the partial masses the merge
+      // sums.
+      if (Config.Mode == AnalysisMode::Deterministic)
+        Bounds = Bounds.deterministic();
+      if (Specs.size() > 1)
+        std::printf("spec:    %s\n", SpecTexts[I].c_str());
+      std::printf("bounds:  [%.6f, %.6f]  width %s\n", Bounds.Lower,
+                  Bounds.Upper, formatBound(Bounds.width()).c_str());
+      if (Config.Mode == AnalysisMode::Deterministic) {
+        const char *Verdict = Bounds.Lower >= 1.0   ? "HOLDS"
+                              : Bounds.Upper <= 0.0 ? "NEVER HOLDS"
+                                                    : "UNKNOWN";
+        std::printf("verdict: %s%s\n", Verdict,
+                    Bounds.Degraded ? " (DEGRADED)" : "");
+      } else if (Bounds.Degraded) {
+        std::printf("verdict: DEGRADED; holds with probability in "
+                    "[%.6f, %.6f]\n",
+                    Bounds.Lower, Bounds.Upper);
+      } else {
+        std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
+                    Bounds.Lower, Bounds.Upper);
+      }
+    }
+    std::printf("stats:   %.2fs, %lld regions peak, %lld nodes peak, %s "
+                "device memory, %lld retries\n",
+                Summary.Seconds,
+                static_cast<long long>(Merged.MaxRegions),
+                static_cast<long long>(Merged.MaxNodes),
+                formatBytes(Merged.PeakBytes).c_str(),
+                static_cast<long long>(Merged.Retries));
+    std::printf("shards:  %lld shards, %lld restarts, %lld fallbacks, "
+                "%lld heartbeat misses, %lld oom-kills, %.2fs worker cpu\n",
+                static_cast<long long>(Shards),
+                static_cast<long long>(Summary.Restarts),
+                static_cast<long long>(Summary.Fallbacks),
+                static_cast<long long>(Summary.HeartbeatMisses),
+                static_cast<long long>(Summary.OomKills),
+                Merged.TotalShardSeconds);
+    if (Degraded) {
+      std::printf("degrade: rung %s, %lld rollbacks, %lld fallback-box "
+                  "layers, deadline %s, quarantined mass %.6f\n",
+                  degradeRungName(Merged.Rung),
+                  static_cast<long long>(Merged.Rollbacks),
+                  static_cast<long long>(Merged.FallbackBoxLayers),
+                  Merged.DeadlineHit ? "hit" : "met",
+                  Merged.QuarantinedMass);
+      return 4;
+    }
+    return 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Single-process path (unchanged semantics).
+  //===--------------------------------------------------------------------===//
 
   // The expensive propagation happens once; every --spec endpoint is then
   // bounded against the shared state concurrently. boundsFor only reads
