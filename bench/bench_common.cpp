@@ -538,6 +538,22 @@ void BenchEnv::writeRunReport() {
   // propagate.layer_seconds, ...) accumulated while computing fresh cells.
   W.key("metrics").raw(MetricsRegistry::global().toJson());
 
+  // Latency percentiles extracted from every histogram's merged buckets
+  // (log-2 buckets, so estimates are within 2x of the exact quantile;
+  // see docs/OBSERVABILITY.md). propagate.layer_seconds is the headline:
+  // p50/p90/p99 per-layer propagation latency.
+  W.key("percentiles");
+  W.beginObject();
+  for (const Histogram *H : MetricsRegistry::global().histogramList()) {
+    W.key(H->name());
+    W.beginObject();
+    W.key("p50").value(histogramQuantile(*H, 0.50));
+    W.key("p90").value(histogramQuantile(*H, 0.90));
+    W.key("p99").value(histogramQuantile(*H, 0.99));
+    W.endObject();
+  }
+  W.endObject();
+
   W.endObject();
   Out << W.str() << '\n';
 }

@@ -10,11 +10,18 @@
 // Emit the machine-readable record with:
 //   micro_kernels --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
 //
+// BM_Instrumentation measures the telemetry plane's own cost — the same
+// propagation with metrics off (the relaxed-load fast path) vs on — and is
+// recorded separately:
+//   micro_kernels --benchmark_filter=BM_Instrumentation \
+//                 --benchmark_out=BENCH_obs.json --benchmark_out_format=json
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/domains/propagate.h"
 #include "src/nn/activations.h"
 #include "src/nn/linear.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/thread_pool.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
@@ -258,6 +265,44 @@ void BM_PropagateQuadratic(benchmark::State &State) {
   propagateDegree(State, 2);
 }
 BENCHMARK(BM_PropagateQuadratic);
+
+/// Instrumentation overhead: one full propagation with the metrics switch
+/// off (arg 0 — every counter site is a single relaxed atomic load) vs on
+/// (arg 1 — loads plus relaxed fetch-adds and histogram records). The
+/// off/on time ratio is the number the "disabled telemetry costs nothing"
+/// claim in docs/OBSERVABILITY.md stands on; CI records it to
+/// BENCH_obs.json. Tracing stays off in both arms: the trace buffer grows
+/// without bound across benchmark iterations and would measure allocation,
+/// not instrumentation.
+void BM_Instrumentation(benchmark::State &State) {
+  const bool Enable = State.range(0) != 0;
+  const bool SavedMetrics = metricsEnabled();
+  setMetricsEnabled(Enable);
+  Rng R(7);
+  Sequential Net;
+  const std::vector<int64_t> Dims{8, 64, 64, 10};
+  for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+    auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+    L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, 0.5);
+    L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.3);
+    Net.add(std::move(L));
+    if (I + 2 < Dims.size())
+      Net.add(std::make_unique<ReLU>());
+  }
+  Tensor A0 = Tensor::randn({1, 8}, R);
+  Tensor A1 = Tensor::randn({1, 8}, R);
+  for (auto _ : State) {
+    std::vector<Region> Init{makeSegmentRegion(A0, A1)};
+    PropagateConfig Config;
+    DeviceMemoryModel Memory;
+    PropagateStats Stats;
+    auto Final = propagateRegions(Net.view(), Shape({1, 8}), std::move(Init),
+                                  Config, Memory, Stats);
+    benchmark::DoNotOptimize(Final.size());
+  }
+  setMetricsEnabled(SavedMetrics);
+}
+BENCHMARK(BM_Instrumentation)->ArgName("metrics")->Arg(0)->Arg(1);
 
 void BM_RelaxHeuristic(benchmark::State &State) {
   const int64_t NumPieces = State.range(0);

@@ -3,6 +3,7 @@
 #include "src/domains/propagate.h"
 
 #include "src/domains/fault_injection.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/parallel/thread_pool.h"
@@ -329,6 +330,7 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
   const auto Quarantine = [&](std::vector<Region> &Rs) {
     if (!Resilient || !Res.DetectNonFinite)
       return;
+    const size_t Before = Rs.size();
     size_t Kept = 0;
     for (size_t I = 0; I < Rs.size(); ++I) {
       if (regionIsFinite(Rs[I])) {
@@ -346,6 +348,11 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
       }
     }
     Rs.resize(Kept);
+    if (Kept < Before && logEnabled())
+      EventLog::global().emit(
+          LogLevel::Warn, "propagate.quarantine",
+          {{"regions", static_cast<int64_t>(Before - Kept)},
+           {"mass", Stats.QuarantinedMass}});
   };
 
   Shape CurShape = InputShape;
@@ -388,6 +395,11 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
 
   for (size_t Li = 0; Li < Layers.size(); ++Li) {
     const Layer *L = Layers[Li];
+    // Refresh the liveness digest unconditionally (one relaxed store —
+    // cheaper than branching on a flag) so the worker heartbeat thread
+    // always reports the layer being worked on.
+    RunLiveness::global().CurrentLayer.store(static_cast<int64_t>(Li),
+                                             std::memory_order_relaxed);
     bool FullBoxActive = RunRung == DegradeRung::FullBox;
     if (Res.Faults)
       Res.Faults->beginLayer(static_cast<int64_t>(Li), FullBoxActive);
@@ -397,6 +409,10 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
       liftToFullBox(Regions);
       Degrade(DegradeRung::FullBox);
       Stats.DeadlineHit = true;
+      if (logEnabled())
+        EventLog::global().emit(LogLevel::Warn, "propagate.deadline",
+                                {{"layer", static_cast<int64_t>(Li)},
+                                 {"elapsed_s", Elapsed()}});
       FullBoxActive = true;
     }
     if (FullBoxActive)
@@ -545,6 +561,8 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
         Rec.Seconds = LayerClock.seconds();
         Rec.Rung = LayerRung;
         Rec.Rollbacks = LayerRollbacks;
+        RunLiveness::global().StateBytes.store(Rec.ChargedBytes,
+                                               std::memory_order_relaxed);
         LayerSecondsHist.record(Rec.Seconds);
         Stats.Layers.push_back(Rec);
         if (!Resilient &&
@@ -561,6 +579,10 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
       // Roll back to the checkpoint: only this layer is re-executed.
       ++Stats.Rollbacks;
       ++LayerRollbacks;
+      if (logEnabled())
+        EventLog::global().emit(LogLevel::Warn, "propagate.rollback",
+                                {{"layer", static_cast<int64_t>(Li)},
+                                 {"layer_rollbacks", LayerRollbacks}});
       Regions = Checkpoint;
       const bool LocalExhausted = LayerRollbacks > Res.MaxLayerRetries;
       bool Lifted = false;
@@ -594,6 +616,9 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
         FullBoxActive = true;
         ++Stats.FallbackBoxLayers;
         Degrade(DegradeRung::FullBox);
+        if (logEnabled())
+          EventLog::global().emit(LogLevel::Warn, "propagate.fallback_box",
+                                  {{"layer", static_cast<int64_t>(Li)}});
       } else {
         Degrade(DegradeRung::LocalBox);
       }

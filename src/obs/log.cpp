@@ -1,0 +1,201 @@
+//===- obs/log.cpp --------------------------------------------*- C++ -*-===//
+
+#include "src/obs/log.h"
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace genprove {
+
+namespace obs_detail {
+std::atomic<bool> LogEnabledFlag{false};
+} // namespace obs_detail
+
+const char *logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  }
+  return "info";
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog
+//===----------------------------------------------------------------------===//
+
+namespace {
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+} // namespace
+
+EventLog::EventLog() : EpochNs(steadyNowNs()) {}
+
+EventLog &EventLog::global() {
+  static EventLog Log;
+  return Log;
+}
+
+void EventLog::setRunId(std::string Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  RunId = std::move(Id);
+}
+
+std::string EventLog::runId() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return RunId;
+}
+
+void EventLog::setShard(int64_t S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Shard = S;
+}
+
+uint64_t EventLog::nowUs() const {
+  uint64_t Epoch;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Epoch = EpochNs;
+  }
+  return (steadyNowNs() - Epoch) / 1000;
+}
+
+void EventLog::emit(LogLevel Level, const char *Event,
+                    std::initializer_list<LogField> Fields) {
+  LogRecord R;
+  R.Level = Level;
+  R.Event = Event;
+  R.Fields.assign(Fields.begin(), Fields.end());
+  std::lock_guard<std::mutex> Lock(Mu);
+  R.TsUs = (steadyNowNs() - EpochNs) / 1000;
+  R.Shard = Shard;
+  Records.push_back(std::move(R));
+}
+
+void EventLog::splice(LogRecord R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Records.push_back(std::move(R));
+}
+
+std::vector<LogRecord> EventLog::records() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Records;
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Records.clear();
+  EpochNs = steadyNowNs();
+}
+
+std::string EventLog::recordToJson(const LogRecord &R,
+                                   const std::string &RunId) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("ts_us").value(int64_t(R.TsUs));
+  W.key("level").value(logLevelName(R.Level));
+  if (!RunId.empty())
+    W.key("run").value(RunId);
+  W.key("shard").value(R.Shard);
+  W.key("event").value(R.Event);
+  for (const LogField &F : R.Fields) {
+    W.key(F.first);
+    switch (F.second.K) {
+    case LogValue::Kind::Int:
+      W.value(F.second.I);
+      break;
+    case LogValue::Kind::Real:
+      W.value(F.second.D);
+      break;
+    case LogValue::Kind::Text:
+      W.value(F.second.S);
+      break;
+    case LogValue::Kind::Flag:
+      W.value(F.second.B);
+      break;
+    }
+  }
+  W.endObject();
+  return W.str();
+}
+
+std::string EventLog::toJsonl() const {
+  std::vector<LogRecord> Copy;
+  std::string Id;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Copy = Records;
+    Id = RunId;
+  }
+  std::string Out;
+  for (const LogRecord &R : Copy) {
+    Out += recordToJson(R, Id);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool EventLog::writeJsonl(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << toJsonl();
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// RunLiveness
+//===----------------------------------------------------------------------===//
+
+RunLiveness &RunLiveness::global() {
+  static RunLiveness Liveness;
+  return Liveness;
+}
+
+//===----------------------------------------------------------------------===//
+// ObsFlushGuard
+//===----------------------------------------------------------------------===//
+
+namespace {
+// Written once by configure() before any worker threads or signals are
+// live, then only read; no lock so flushNow() stays callable from the
+// fatal-signal path.
+ObsFlushGuard::Paths FlushPaths;
+} // namespace
+
+void ObsFlushGuard::configure(Paths P) { FlushPaths = std::move(P); }
+
+void ObsFlushGuard::flushNow() {
+  if (!FlushPaths.Trace.empty() &&
+      !TraceSession::global().writeChromeTrace(FlushPaths.Trace))
+    std::fprintf(stderr, "genprove_cli: failed to write trace to '%s'\n",
+                 FlushPaths.Trace.c_str());
+  if (!FlushPaths.Metrics.empty() &&
+      !MetricsRegistry::global().writeJson(FlushPaths.Metrics))
+    std::fprintf(stderr, "genprove_cli: failed to write metrics to '%s'\n",
+                 FlushPaths.Metrics.c_str());
+  if (!FlushPaths.Prom.empty() &&
+      !MetricsRegistry::global().writePrometheus(FlushPaths.Prom))
+    std::fprintf(stderr, "genprove_cli: failed to write prometheus to '%s'\n",
+                 FlushPaths.Prom.c_str());
+  if (!FlushPaths.Log.empty() &&
+      !EventLog::global().writeJsonl(FlushPaths.Log))
+    std::fprintf(stderr, "genprove_cli: failed to write log to '%s'\n",
+                 FlushPaths.Log.c_str());
+}
+
+} // namespace genprove

@@ -1,0 +1,172 @@
+//===- obs/log.h - Structured JSONL event log -------------------*- C++ -*-===//
+///
+/// \file
+/// A process-global structured event log replacing ad-hoc stderr prints
+/// for supervision and degradation events (retries, kills, quarantines,
+/// rung changes). Records carry a monotonic timestamp, a level, the run
+/// id and the shard id; `writeJsonl` emits one JSON object per line
+/// (schema in docs/OBSERVABILITY.md). Worker processes ship their record
+/// buffer to the coordinator inside the shard result message, where it is
+/// spliced into the coordinator's log.
+///
+/// Like metrics and tracing, the log is off by default; call sites must
+/// guard with `if (logEnabled())` so a disabled site costs exactly one
+/// relaxed atomic load (emit's arguments would otherwise still be
+/// materialized).
+///
+/// This header also hosts:
+///   - RunLiveness, the lock-free digest (current layer, charged state
+///     bytes) the propagation engine refreshes at layer boundaries and
+///     the worker heartbeat thread samples;
+///   - ObsFlushGuard, the RAII single flush point for every telemetry
+///     artifact (trace, metrics JSON, Prometheus text, JSONL log) so all
+///     exit paths — normal return, DEGRADED exit, fatal signal — write
+///     the same files the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_OBS_LOG_H
+#define GENPROVE_OBS_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace genprove {
+
+namespace obs_detail {
+extern std::atomic<bool> LogEnabledFlag;
+} // namespace obs_detail
+
+/// Global event-log switch; default off.
+inline bool logEnabled() {
+  return obs_detail::LogEnabledFlag.load(std::memory_order_relaxed);
+}
+inline void setLogEnabled(bool On) {
+  obs_detail::LogEnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+enum class LogLevel : uint8_t { Debug = 0, Info, Warn, Error };
+
+/// Lowercase level name ("info", ...).
+const char *logLevelName(LogLevel Level);
+
+/// Tagged scalar value for a structured field.
+struct LogValue {
+  enum class Kind : uint8_t { Int, Real, Text, Flag };
+
+  Kind K = Kind::Int;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  bool B = false;
+
+  LogValue(int64_t V) : K(Kind::Int), I(V) {}
+  LogValue(int V) : K(Kind::Int), I(V) {}
+  LogValue(uint64_t V) : K(Kind::Int), I(static_cast<int64_t>(V)) {}
+  LogValue(double V) : K(Kind::Real), D(V) {}
+  LogValue(const char *V) : K(Kind::Text), S(V) {}
+  LogValue(std::string V) : K(Kind::Text), S(std::move(V)) {}
+  LogValue(bool V) : K(Kind::Flag), B(V) {}
+};
+
+using LogField = std::pair<std::string, LogValue>;
+
+/// One structured event.
+struct LogRecord {
+  uint64_t TsUs = 0; ///< monotonic microseconds since the log epoch
+  LogLevel Level = LogLevel::Info;
+  int64_t Shard = -1; ///< -1 = coordinator / single-process run
+  std::string Event;  ///< dotted event name, e.g. "shard.retry"
+  std::vector<LogField> Fields;
+};
+
+/// The process-global event log.
+class EventLog {
+public:
+  static EventLog &global();
+
+  /// Run identity stamped on every emitted line.
+  void setRunId(std::string Id);
+  std::string runId() const;
+
+  /// Shard id stamped on records emitted by this process (-1 =
+  /// coordinator). Records spliced from workers keep their own id.
+  void setShard(int64_t Shard);
+
+  /// Append an event stamped now. Callers must pre-check logEnabled().
+  void emit(LogLevel Level, const char *Event,
+            std::initializer_list<LogField> Fields = {});
+
+  /// Append a pre-stamped record verbatim (cross-process splice).
+  void splice(LogRecord R);
+
+  std::vector<LogRecord> records() const;
+  void clear(); ///< drop records and restart the timestamp epoch
+
+  /// Monotonic microseconds since the epoch set at construction/clear().
+  uint64_t nowUs() const;
+
+  /// One JSON object per record, one record per line.
+  std::string toJsonl() const;
+  bool writeJsonl(const std::string &Path) const;
+
+  /// Render one record as a single JSON line (no trailing newline).
+  static std::string recordToJson(const LogRecord &R, const std::string &RunId);
+
+private:
+  EventLog();
+
+  mutable std::mutex Mu;
+  std::vector<LogRecord> Records;
+  std::string RunId;
+  int64_t Shard = -1;
+  uint64_t EpochNs = 0;
+};
+
+/// Lock-free liveness digest: the propagation engine stores the current
+/// layer index and charged state bytes at every layer boundary (two
+/// relaxed stores, unconditional — cheaper than a branch on a flag), and
+/// the worker heartbeat thread samples them into heartbeat messages so
+/// the supervisor can tell a hung-but-heartbeating worker from a healthy
+/// one. -1 means "no propagation underway".
+struct RunLiveness {
+  std::atomic<int64_t> CurrentLayer{-1};
+  std::atomic<int64_t> StateBytes{-1};
+
+  static RunLiveness &global();
+};
+
+/// Single flush point for every telemetry artifact. Configure the output
+/// paths once (empty path = skip that artifact), put one guard at main
+/// scope, and every exit path — normal return, error return, and the
+/// fatal-signal handler via the async-signal-tolerant flushNow() — writes
+/// the same files.
+class ObsFlushGuard {
+public:
+  struct Paths {
+    std::string Trace;   ///< Chrome trace JSON
+    std::string Metrics; ///< metrics registry JSON
+    std::string Prom;    ///< Prometheus text exposition
+    std::string Log;     ///< JSONL event log
+  };
+
+  static void configure(Paths P);
+
+  /// Write every configured artifact; safe to call repeatedly (later
+  /// calls rewrite the files with fresher state, so the last flush wins).
+  static void flushNow();
+
+  ObsFlushGuard() = default;
+  ObsFlushGuard(const ObsFlushGuard &) = delete;
+  ObsFlushGuard &operator=(const ObsFlushGuard &) = delete;
+  ~ObsFlushGuard() { flushNow(); }
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_OBS_LOG_H

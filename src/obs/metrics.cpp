@@ -4,14 +4,73 @@
 
 #include "src/obs/json.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <set>
 
 namespace genprove {
 
 namespace obs_detail {
 std::atomic<bool> MetricsEnabledFlag{false};
 } // namespace obs_detail
+
+//===----------------------------------------------------------------------===//
+// Quantile extraction
+//===----------------------------------------------------------------------===//
+
+double quantileFromBuckets(const int64_t *Buckets, int NumBuckets,
+                           int64_t Count, double MinSample, double MaxSample,
+                           double Q) {
+  if (Count <= 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  Q = std::clamp(Q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based, in [1, Count].
+  const int64_t Rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(Q * double(Count))));
+  int64_t Before = 0;
+  for (int I = 0; I < NumBuckets; ++I) {
+    const int64_t C = Buckets[I];
+    if (C <= 0)
+      continue;
+    if (Before + C < Rank) {
+      Before += C;
+      continue;
+    }
+    Histogram::Bucket B = Histogram::bucketBounds(I);
+    // Clamp the bucket to the observed sample range so the estimate
+    // never leaves the data; this also makes the edge buckets
+    // (-inf, 0] and (2^MaxExp, +inf] produce finite answers whenever
+    // the samples themselves were finite.
+    double Lo = B.Lo;
+    double Hi = B.Hi;
+    if (std::isfinite(MinSample))
+      Lo = std::max(Lo, MinSample);
+    if (std::isfinite(MaxSample))
+      Hi = std::min(Hi, MaxSample);
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    if (!std::isfinite(Lo))
+      Lo = std::isfinite(Hi) ? Hi : 0.0;
+    if (!std::isfinite(Hi))
+      Hi = Lo;
+    const double Frac = double(Rank - Before) / double(C);
+    return Lo + (Hi - Lo) * Frac;
+  }
+  // Bucket totals were short of Count (torn concurrent snapshot);
+  // answer with the largest observed sample rather than failing.
+  return std::isfinite(MaxSample) ? MaxSample
+                                  : std::numeric_limits<double>::quiet_NaN();
+}
+
+double histogramQuantile(const Histogram &H, double Q) {
+  std::array<int64_t, Histogram::NumBuckets> Buckets;
+  for (int I = 0; I < Histogram::NumBuckets; ++I)
+    Buckets[static_cast<size_t>(I)] = H.bucketCount(I);
+  return quantileFromBuckets(Buckets.data(), Histogram::NumBuckets, H.count(),
+                             H.minSample(), H.maxSample(), Q);
+}
 
 //===----------------------------------------------------------------------===//
 // Histogram
@@ -130,6 +189,33 @@ MetricsRegistry::findHistogram(const std::string &Name) const {
   return It == Histograms.end() ? nullptr : It->second.get();
 }
 
+std::vector<const Counter *> MetricsRegistry::counterList() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<const Counter *> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.push_back(C.get());
+  return Out;
+}
+
+std::vector<const Gauge *> MetricsRegistry::gaugeList() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<const Gauge *> Out;
+  Out.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    Out.push_back(G.get());
+  return Out;
+}
+
+std::vector<const Histogram *> MetricsRegistry::histogramList() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<const Histogram *> Out;
+  Out.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms)
+    Out.push_back(H.get());
+  return Out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   for (auto &[Name, C] : Counters)
@@ -163,6 +249,10 @@ std::string MetricsRegistry::toJson() const {
     // Non-finite min/max (empty histogram, or inf samples) render as null.
     W.key("min").value(H->minSample());
     W.key("max").value(H->maxSample());
+    // NaN percentiles (empty histogram) render as null too.
+    W.key("p50").value(histogramQuantile(*H, 0.50));
+    W.key("p90").value(histogramQuantile(*H, 0.90));
+    W.key("p99").value(histogramQuantile(*H, 0.99));
     W.key("buckets").beginArray();
     for (const Histogram::Bucket &B : H->nonEmptyBuckets()) {
       W.beginObject();
@@ -185,6 +275,118 @@ bool MetricsRegistry::writeJson(const std::string &Path) const {
   if (!Out)
     return false;
   Out << toJson() << '\n';
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Split a registry name of the form `base{key="value",...}` into the
+/// Prometheus-sanitized base name and the raw label body (without the
+/// braces; empty when the name carries no labels).
+void splitPromName(const std::string &Name, std::string &Base,
+                   std::string &Labels) {
+  const size_t Brace = Name.find('{');
+  const std::string Raw =
+      Brace == std::string::npos ? Name : Name.substr(0, Brace);
+  Labels.clear();
+  if (Brace != std::string::npos && Name.back() == '}')
+    Labels = Name.substr(Brace + 1, Name.size() - Brace - 2);
+  Base = "genprove_";
+  for (char C : Raw) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Base.push_back(Ok ? C : '_');
+  }
+}
+
+std::string promDouble(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+/// `name{labels}` or `name{labels,extra}` with empty parts elided.
+std::string promSeries(const std::string &Base, const std::string &Labels,
+                       const std::string &Extra = "") {
+  std::string S = Base;
+  if (!Labels.empty() || !Extra.empty()) {
+    S += '{';
+    S += Labels;
+    if (!Labels.empty() && !Extra.empty())
+      S += ',';
+    S += Extra;
+    S += '}';
+  }
+  return S;
+}
+
+void promTypeLine(std::string &Out, std::set<std::string> &Seen,
+                  const std::string &Base, const char *Type) {
+  if (!Seen.insert(Base).second)
+    return;
+  Out += "# TYPE ";
+  Out += Base;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+} // namespace
+
+std::string MetricsRegistry::toPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  std::set<std::string> Seen;
+  // The maps are name-ordered, so `a` and its labeled series `a{...}`
+  // are adjacent and share one TYPE line via the Seen set.
+  for (const auto &[Name, C] : Counters) {
+    std::string Base, Labels;
+    splitPromName(Name, Base, Labels);
+    promTypeLine(Out, Seen, Base, "counter");
+    Out += promSeries(Base, Labels) + ' ' + std::to_string(C->value()) + '\n';
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string Base, Labels;
+    splitPromName(Name, Base, Labels);
+    promTypeLine(Out, Seen, Base, "gauge");
+    Out += promSeries(Base, Labels) + ' ' + promDouble(G->value()) + '\n';
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string Base, Labels;
+    splitPromName(Name, Base, Labels);
+    promTypeLine(Out, Seen, Base, "histogram");
+    int64_t Cum = 0;
+    for (const Histogram::Bucket &B : H->nonEmptyBuckets()) {
+      Cum += B.Count;
+      Out += promSeries(Base + "_bucket", Labels,
+                        "le=\"" + promDouble(B.Hi) + "\"") +
+             ' ' + std::to_string(Cum) + '\n';
+    }
+    // Prometheus requires the +Inf bucket even when empty.
+    if (Cum == 0 || H->bucketCount(Histogram::NumBuckets - 1) == 0)
+      Out += promSeries(Base + "_bucket", Labels, "le=\"+Inf\"") + ' ' +
+             std::to_string(Cum) + '\n';
+    Out += promSeries(Base + "_sum", Labels) + ' ' + promDouble(H->total()) +
+           '\n';
+    Out += promSeries(Base + "_count", Labels) + ' ' +
+           std::to_string(H->count()) + '\n';
+  }
+  return Out;
+}
+
+bool MetricsRegistry::writePrometheus(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << toPrometheus();
   return static_cast<bool>(Out);
 }
 

@@ -78,6 +78,14 @@ public:
   int64_t value() const { return Value.load(std::memory_order_relaxed); }
   const std::string &name() const { return Name; }
 
+  /// Merge-plane mutator: fold a value recorded elsewhere (another
+  /// process's snapshot) into this counter. Deliberately ignores the
+  /// metrics switch — the delta was already paid for where it was
+  /// recorded, and a fold must never silently drop shipped data.
+  void absorb(int64_t Delta) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+
 private:
   friend class MetricsRegistry;
   explicit Counter(std::string Name) : Name(std::move(Name)) {}
@@ -110,6 +118,12 @@ public:
 
   double value() const { return Value.load(std::memory_order_relaxed); }
   const std::string &name() const { return Name; }
+
+  /// Merge-plane mutators: fold a snapshot value from another process.
+  /// They ignore the metrics switch (see Counter::absorb).
+  void absorbSet(double V) { Value.store(V, std::memory_order_relaxed); }
+  void absorbMax(double V) { obs_detail::atomicMaxDouble(Value, V); }
+  void absorbAdd(double V) { obs_detail::atomicAddDouble(Value, V); }
 
 private:
   friend class MetricsRegistry;
@@ -175,6 +189,22 @@ public:
   /// use -inf / +inf.
   static Bucket bucketBounds(int Index);
 
+  /// Merge-plane mutators: fold a histogram snapshot from another
+  /// process bucket-by-bucket. They ignore the metrics switch (see
+  /// Counter::absorb). absorbStats folds the order statistics and the
+  /// finite-sample sum; the caller folds buckets separately so sparse
+  /// snapshots only touch occupied buckets.
+  void absorbBucket(int Index, int64_t Count) {
+    Buckets[static_cast<size_t>(Index)].fetch_add(Count,
+                                                  std::memory_order_relaxed);
+  }
+  void absorbStats(int64_t Count, double SumV, double MinV, double MaxV) {
+    NumSamples.fetch_add(Count, std::memory_order_relaxed);
+    obs_detail::atomicAddDouble(Sum, SumV);
+    obs_detail::atomicMinDouble(MinSample, MinV);
+    obs_detail::atomicMaxDouble(MaxSample, MaxV);
+  }
+
 private:
   friend class MetricsRegistry;
   explicit Histogram(std::string Name) : Name(std::move(Name)) {}
@@ -204,15 +234,33 @@ public:
   const Gauge *findGauge(const std::string &Name) const;
   const Histogram *findHistogram(const std::string &Name) const;
 
+  /// Enumerate registered metrics in name order. The pointers never
+  /// dangle (metric objects live for the whole process), but the lists
+  /// are snapshots: metrics registered after the call are not included.
+  std::vector<const Counter *> counterList() const;
+  std::vector<const Gauge *> gaugeList() const;
+  std::vector<const Histogram *> histogramList() const;
+
   /// Zero every registered metric (fresh run / test isolation).
   void reset();
 
   /// Snapshot as a JSON object {"counters":{...},"gauges":{...},
-  /// "histograms":{...}}.
+  /// "histograms":{...}}. Histograms include p50/p90/p99 estimates
+  /// extracted from the log-scale buckets.
   std::string toJson() const;
 
   /// Write toJson() to a file; false on I/O error.
   bool writeJson(const std::string &Path) const;
+
+  /// Prometheus text exposition (version 0.0.4). Metric names gain a
+  /// `genprove_` prefix and dots become underscores; a `{key="value"}`
+  /// suffix on the registry name (see labeledMetricName in snapshot.h)
+  /// is re-emitted as Prometheus labels. Histograms use cumulative
+  /// `le`-labeled buckets plus `_sum`/`_count` series.
+  std::string toPrometheus() const;
+
+  /// Write toPrometheus() to a file; false on I/O error.
+  bool writePrometheus(const std::string &Path) const;
 
 private:
   MetricsRegistry() = default;
@@ -222,6 +270,20 @@ private:
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
 };
+
+/// Quantile estimate (Q in [0,1]) from log-scale histogram buckets.
+/// Walks the cumulative counts to the bucket holding rank ceil(Q*Count)
+/// and interpolates linearly inside it, clamping the bucket bounds to
+/// the recorded [min, max] sample range so the estimate never leaves the
+/// observed data. Returns NaN for an empty histogram. Shared by the
+/// registry JSON snapshot, MetricsSnapshot percentiles and the bench
+/// run-report percentile block.
+double quantileFromBuckets(const int64_t *Buckets, int NumBuckets,
+                           int64_t Count, double MinSample, double MaxSample,
+                           double Q);
+
+/// Convenience overload reading a live histogram.
+double histogramQuantile(const Histogram &H, double Q);
 
 } // namespace genprove
 

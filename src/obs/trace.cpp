@@ -51,7 +51,18 @@ uint64_t TraceSession::nowUs() const {
 void TraceSession::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Events.clear();
+  ProcessLabels.clear();
   Epoch = std::chrono::steady_clock::now();
+}
+
+void TraceSession::setProcessLabel(int64_t Pid, std::string Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[P, N] : ProcessLabels)
+    if (P == Pid) {
+      N = std::move(Name);
+      return;
+    }
+  ProcessLabels.emplace_back(Pid, std::move(Name));
 }
 
 void TraceSession::record(TraceEvent Event) {
@@ -70,9 +81,27 @@ size_t TraceSession::eventCount() const {
 }
 
 std::string TraceSession::toChromeJson() const {
-  const std::vector<TraceEvent> Snapshot = events();
+  std::vector<TraceEvent> Snapshot;
+  std::vector<std::pair<int64_t, std::string>> Labels;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Snapshot = Events;
+    Labels = ProcessLabels;
+  }
   JsonWriter W;
   W.beginArray();
+  for (const auto &[Pid, Name] : Labels) {
+    W.beginObject();
+    W.key("name").value("process_name");
+    W.key("ph").value("M");
+    W.key("ts").value(int64_t(0));
+    W.key("pid").value(Pid);
+    W.key("tid").value(int64_t(0));
+    W.key("args").beginObject();
+    W.key("name").value(Name);
+    W.endObject();
+    W.endObject();
+  }
   for (const TraceEvent &E : Snapshot) {
     W.beginObject();
     W.key("name").value(E.Name);
@@ -80,7 +109,7 @@ std::string TraceSession::toChromeJson() const {
     W.key("ph").value("X");
     W.key("ts").value(static_cast<int64_t>(E.StartUs));
     W.key("dur").value(static_cast<int64_t>(E.DurUs));
-    W.key("pid").value(int64_t(1));
+    W.key("pid").value(E.Pid);
     W.key("tid").value(static_cast<int64_t>(E.Tid));
     W.key("args").beginObject();
     W.key("self_us").value(static_cast<int64_t>(E.SelfUs));

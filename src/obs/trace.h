@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace genprove {
@@ -47,6 +48,10 @@ struct TraceEvent {
   uint64_t SelfUs = 0;  ///< duration excluding child spans
   uint32_t Tid = 0;     ///< small per-thread id (not the OS tid)
   uint32_t Depth = 0;   ///< nesting depth within its thread
+  /// Chrome-trace process lane. Spans recorded in this process use 0
+  /// (the coordinator lane); the shard supervisor re-stamps spliced
+  /// worker events with shard id + 1 so every worker gets its own lane.
+  int64_t Pid = 0;
 };
 
 /// Collects closed spans; one global instance per process.
@@ -60,8 +65,14 @@ public:
   std::vector<TraceEvent> events() const;
   size_t eventCount() const;
 
+  /// Name a process lane; emitted as a Chrome "process_name" metadata
+  /// event so the shard lanes read "coordinator" / "shard 2" instead of
+  /// bare pids.
+  void setProcessLabel(int64_t Pid, std::string Name);
+
   /// Chrome trace-event format: a JSON array of complete ("ph":"X")
-  /// events, loadable in chrome://tracing and Perfetto.
+  /// events plus process_name metadata, loadable in chrome://tracing and
+  /// Perfetto.
   std::string toChromeJson() const;
 
   /// Write toChromeJson() to a file; false on I/O error.
@@ -76,6 +87,7 @@ private:
 
   mutable std::mutex Mu;
   std::vector<TraceEvent> Events;
+  std::vector<std::pair<int64_t, std::string>> ProcessLabels;
   std::chrono::steady_clock::time_point Epoch;
 };
 

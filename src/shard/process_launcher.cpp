@@ -141,9 +141,17 @@ bool ProcessShardLauncher::drainPipe(Child &C) {
     const std::string Line = C.Buffer.substr(Start, Nl - Start);
     Start = Nl + 1;
     switch (classifyShardMessage(Line)) {
-    case ShardMessageKind::Heartbeat:
+    case ShardMessageKind::Heartbeat: {
       Heartbeat = true;
+      ShardHeartbeat Beat;
+      if (decodeShardHeartbeat(Line, Beat)) {
+        if (Beat.StateBytes >= 0)
+          C.BeatStateBytes = Beat.StateBytes;
+        if (Beat.Layer >= 0)
+          C.BeatLayer = Beat.Layer;
+      }
       break;
+    }
     case ShardMessageKind::Result:
       C.ResultLine = Line;
       break;
@@ -177,7 +185,8 @@ WorkerPoll ProcessShardLauncher::classifyExit(Child &C, int Status) {
     P.Outcome = AttemptOutcome::Crash;
     return P;
   }
-  if (!C.ResultLine.empty() && decodeShardResult(C.ResultLine, P.Result)) {
+  if (!C.ResultLine.empty() &&
+      decodeShardResult(C.ResultLine, P.Result, nullptr, &P.Telemetry)) {
     P.Outcome = AttemptOutcome::Ok;
     return P;
   }
@@ -195,6 +204,8 @@ WorkerPoll ProcessShardLauncher::poll(int64_t Shard) {
   }
   Child &C = It->second;
   P.HeartbeatSeen = drainPipe(C);
+  P.BeatStateBytes = C.BeatStateBytes;
+  P.BeatLayer = C.BeatLayer;
 
   int Status = 0;
   const pid_t R = ::waitpid(C.Pid, &Status, WNOHANG);

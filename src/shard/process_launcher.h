@@ -61,6 +61,8 @@ private:
     std::string Buffer;    ///< partial line carried across polls
     std::string ResultLine; ///< last complete result message seen
     bool SawHeartbeat = false;
+    int64_t BeatStateBytes = -1; ///< latest heartbeat liveness digest
+    int64_t BeatLayer = -1;
   };
 
   /// Drain available pipe bytes into the child's buffer and consume

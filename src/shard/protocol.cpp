@@ -4,9 +4,12 @@
 
 #include "src/obs/json.h"
 
+#include <cmath>
+
 namespace genprove {
 
-std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq) {
+std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq,
+                                 int64_t StateBytes, int64_t Layer) {
   JsonWriter W;
   W.beginObject()
       .key("type")
@@ -15,11 +18,144 @@ std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq) {
       .value(Shard)
       .key("seq")
       .value(Seq)
+      .key("state_bytes")
+      .value(StateBytes)
+      .key("layer")
+      .value(Layer)
       .endObject();
   return W.str();
 }
 
-std::string encodeShardResult(const ShardResult &R) {
+bool decodeShardHeartbeat(const std::string &Line, ShardHeartbeat &Out) {
+  JsonValue V;
+  if (!parseJson(Line, V))
+    return false;
+  const JsonValue *Type = V.find("type");
+  if (!Type || Type->stringOr("") != "heartbeat")
+    return false;
+  Out = ShardHeartbeat{};
+  auto Int = [&](const char *Key, int64_t Fallback) {
+    const JsonValue *F = V.find(Key);
+    return F ? F->intOr(Fallback) : Fallback;
+  };
+  Out.Shard = Int("shard", -1);
+  Out.Seq = Int("seq", 0);
+  Out.StateBytes = Int("state_bytes", -1);
+  Out.Layer = Int("layer", -1);
+  return true;
+}
+
+namespace {
+
+void encodeTraceEvent(JsonWriter &W, const TraceEvent &E) {
+  W.beginObject();
+  W.key("n").value(E.Name);
+  W.key("ts").value(int64_t(E.StartUs));
+  W.key("dur").value(int64_t(E.DurUs));
+  W.key("self").value(int64_t(E.SelfUs));
+  W.key("tid").value(int64_t(E.Tid));
+  W.key("depth").value(int64_t(E.Depth));
+  W.endObject();
+}
+
+void encodeLogRecord(JsonWriter &W, const LogRecord &R) {
+  W.beginObject();
+  W.key("ts").value(int64_t(R.TsUs));
+  W.key("level").value(int64_t(R.Level));
+  W.key("shard").value(R.Shard);
+  W.key("event").value(R.Event);
+  W.key("fields").beginObject();
+  for (const LogField &F : R.Fields) {
+    W.key(F.first);
+    switch (F.second.K) {
+    case LogValue::Kind::Int:
+      W.value(F.second.I);
+      break;
+    case LogValue::Kind::Real:
+      W.value(F.second.D);
+      break;
+    case LogValue::Kind::Text:
+      W.value(F.second.S);
+      break;
+    case LogValue::Kind::Flag:
+      W.value(F.second.B);
+      break;
+    }
+  }
+  W.endObject();
+  W.endObject();
+}
+
+bool decodeTraceEvent(const JsonValue &V, TraceEvent &Out) {
+  if (V.K != JsonValue::Kind::Object)
+    return false;
+  const JsonValue *Name = V.find("n");
+  if (!Name || Name->K != JsonValue::Kind::String)
+    return false;
+  Out = TraceEvent{};
+  Out.Name = Name->Str;
+  auto Int = [&](const char *Key, int64_t Fallback) {
+    const JsonValue *F = V.find(Key);
+    return F ? F->intOr(Fallback) : Fallback;
+  };
+  Out.StartUs = uint64_t(Int("ts", 0));
+  Out.DurUs = uint64_t(Int("dur", 0));
+  Out.SelfUs = uint64_t(Int("self", 0));
+  Out.Tid = uint32_t(Int("tid", 0));
+  Out.Depth = uint32_t(Int("depth", 0));
+  return true;
+}
+
+bool decodeLogRecord(const JsonValue &V, LogRecord &Out) {
+  if (V.K != JsonValue::Kind::Object)
+    return false;
+  const JsonValue *Event = V.find("event");
+  if (!Event || Event->K != JsonValue::Kind::String)
+    return false;
+  Out = LogRecord{};
+  Out.Event = Event->Str;
+  auto Int = [&](const char *Key, int64_t Fallback) {
+    const JsonValue *F = V.find(Key);
+    return F ? F->intOr(Fallback) : Fallback;
+  };
+  Out.TsUs = uint64_t(Int("ts", 0));
+  const int64_t Level = Int("level", int64_t(LogLevel::Info));
+  Out.Level = Level >= 0 && Level <= int64_t(LogLevel::Error)
+                  ? LogLevel(Level)
+                  : LogLevel::Info;
+  Out.Shard = Int("shard", -1);
+  if (const JsonValue *Fields = V.find("fields");
+      Fields && Fields->K == JsonValue::Kind::Object) {
+    for (const auto &[Key, Val] : Fields->Members) {
+      switch (Val.K) {
+      case JsonValue::Kind::Number: {
+        // Integral numbers in the exactly-representable range come back
+        // as ints; everything else stays a double.
+        const double D = Val.Num;
+        if (D == std::floor(D) && std::abs(D) < 9.007199254740992e15)
+          Out.Fields.emplace_back(Key, LogValue(int64_t(D)));
+        else
+          Out.Fields.emplace_back(Key, LogValue(D));
+        break;
+      }
+      case JsonValue::Kind::String:
+        Out.Fields.emplace_back(Key, LogValue(Val.Str));
+        break;
+      case JsonValue::Kind::Bool:
+        Out.Fields.emplace_back(Key, LogValue(Val.B));
+        break;
+      default:
+        break; // null/array/object fields are dropped
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::string encodeShardResult(const ShardResult &R,
+                              const ShardTelemetry *Telemetry) {
   JsonWriter W;
   W.beginObject();
   W.key("type").value("result");
@@ -49,6 +185,24 @@ std::string encodeShardResult(const ShardResult &R) {
         .endObject();
   }
   W.endArray();
+  if (Telemetry && !Telemetry->empty()) {
+    W.key("telemetry").beginObject();
+    if (Telemetry->HasMetrics)
+      W.key("metrics").raw(Telemetry->Metrics.toJson());
+    if (!Telemetry->Trace.empty()) {
+      W.key("trace").beginArray();
+      for (const TraceEvent &E : Telemetry->Trace)
+        encodeTraceEvent(W, E);
+      W.endArray();
+    }
+    if (!Telemetry->Log.empty()) {
+      W.key("log").beginArray();
+      for (const LogRecord &L : Telemetry->Log)
+        encodeLogRecord(W, L);
+      W.endArray();
+    }
+    W.endObject();
+  }
   W.endObject();
   return W.str();
 }
@@ -69,7 +223,9 @@ ShardMessageKind classifyShardMessage(const std::string &Line) {
 }
 
 bool decodeShardResult(const std::string &Line, ShardResult &Out,
-                       std::string *Error) {
+                       std::string *Error, ShardTelemetry *Telemetry) {
+  if (Telemetry)
+    *Telemetry = ShardTelemetry{};
   JsonValue V;
   if (!parseJson(Line, V, Error))
     return false;
@@ -126,6 +282,28 @@ bool decodeShardResult(const std::string &Line, ShardResult &Out,
     if (Error)
       *Error = "result message missing shard index";
     return false;
+  }
+  if (Telemetry) {
+    if (const JsonValue *Tel = V.find("telemetry");
+        Tel && Tel->K == JsonValue::Kind::Object) {
+      if (const JsonValue *Metrics = Tel->find("metrics"))
+        Telemetry->HasMetrics =
+            MetricsSnapshot::fromJson(*Metrics, Telemetry->Metrics);
+      if (const JsonValue *Trace = Tel->find("trace");
+          Trace && Trace->K == JsonValue::Kind::Array)
+        for (const JsonValue &E : Trace->Items) {
+          TraceEvent Event;
+          if (decodeTraceEvent(E, Event))
+            Telemetry->Trace.push_back(std::move(Event));
+        }
+      if (const JsonValue *Log = Tel->find("log");
+          Log && Log->K == JsonValue::Kind::Array)
+        for (const JsonValue &R : Log->Items) {
+          LogRecord Record;
+          if (decodeLogRecord(R, Record))
+            Telemetry->Log.push_back(std::move(Record));
+        }
+    }
   }
   return true;
 }

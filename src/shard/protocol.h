@@ -6,11 +6,17 @@
 /// written with the src/obs/json JsonWriter and read back with its
 /// parser. Two message types:
 ///
-///  * heartbeat — `{"type":"heartbeat","shard":K,"seq":N}`, emitted
-///    periodically by a live worker so the supervisor can distinguish a
-///    slow shard from a wedged one;
+///  * heartbeat — `{"type":"heartbeat","shard":K,"seq":N,
+///    "state_bytes":B,"layer":L}`, emitted periodically by a live worker
+///    so the supervisor can distinguish a slow shard from a wedged one;
+///    the liveness digest (charged state bytes, current layer, -1 when
+///    unknown) distinguishes a hung-but-heartbeating worker from one
+///    still making layer progress;
 ///  * result — `{"type":"result",...}`, the worker's ShardResult, emitted
-///    exactly once right before a clean exit.
+///    exactly once right before a clean exit, optionally carrying a
+///    `telemetry` section: the worker's final MetricsSnapshot, its trace
+///    event buffer and its structured log records, which the supervisor
+///    folds/splices into the coordinator's registries.
 ///
 /// Doubles are serialized with %.17g and parsed with strtod, which
 /// round-trips every finite IEEE-754 double bit-exactly — the merged
@@ -22,29 +28,66 @@
 #ifndef GENPROVE_SHARD_PROTOCOL_H
 #define GENPROVE_SHARD_PROTOCOL_H
 
+#include "src/obs/log.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
 #include "src/shard/shard.h"
 
 #include <string>
+#include <vector>
 
 namespace genprove {
 
 /// Message classification for one protocol line.
 enum class ShardMessageKind : uint8_t { Heartbeat, Result, Invalid };
 
-/// One heartbeat line (no trailing newline).
-std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq);
+/// Decoded heartbeat. StateBytes/Layer are -1 when the worker predates
+/// the digest or no propagation is underway.
+struct ShardHeartbeat {
+  int64_t Shard = -1;
+  int64_t Seq = 0;
+  int64_t StateBytes = -1;
+  int64_t Layer = -1;
+};
 
-/// One result line (no trailing newline).
-std::string encodeShardResult(const ShardResult &Result);
+/// Worker-side telemetry attached to a result message. HasMetrics marks
+/// an actually-captured snapshot (an empty snapshot is a valid capture);
+/// trace/log sections are simply empty when not collected.
+struct ShardTelemetry {
+  bool HasMetrics = false;
+  MetricsSnapshot Metrics;
+  std::vector<TraceEvent> Trace;
+  std::vector<LogRecord> Log;
+
+  bool empty() const { return !HasMetrics && Trace.empty() && Log.empty(); }
+};
+
+/// One heartbeat line (no trailing newline). StateBytes/Layer form the
+/// liveness digest; pass -1 for "unknown".
+std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq,
+                                 int64_t StateBytes = -1, int64_t Layer = -1);
+
+/// Decode a heartbeat line; false when the line is not a heartbeat.
+bool decodeShardHeartbeat(const std::string &Line, ShardHeartbeat &Out);
+
+/// One result line (no trailing newline); attaches \p Telemetry when
+/// non-null and non-empty.
+std::string encodeShardResult(const ShardResult &Result,
+                              const ShardTelemetry *Telemetry = nullptr);
 
 /// Classify a protocol line without fully decoding it.
 ShardMessageKind classifyShardMessage(const std::string &Line);
 
 /// Decode a result line. False (with \p Error set when non-null) on
 /// malformed JSON or a message that is not a result; fields the message
-/// omits keep their (conservative) defaults.
+/// omits keep their (conservative) defaults. When \p Telemetry is
+/// non-null, any attached telemetry section is decoded into it (left
+/// empty when the message carries none — a malformed telemetry section
+/// is dropped rather than failing the result, so observability problems
+/// never turn a sound answer into a retry).
 bool decodeShardResult(const std::string &Line, ShardResult &Out,
-                       std::string *Error = nullptr);
+                       std::string *Error = nullptr,
+                       ShardTelemetry *Telemetry = nullptr);
 
 } // namespace genprove
 

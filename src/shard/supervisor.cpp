@@ -2,7 +2,10 @@
 
 #include "src/shard/supervisor.h"
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
 #include "src/shard/protocol.h"
 #include "src/util/timer.h"
 
@@ -10,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace genprove {
 
@@ -176,6 +180,35 @@ ShardRunSummary ShardSupervisor::run() {
       MetricsRegistry::global().counter("shard.admission_rejects");
   static Histogram &AttemptSecondsHist =
       MetricsRegistry::global().histogram("shard.attempt_seconds");
+  static Gauge &HbAgeGauge =
+      MetricsRegistry::global().gauge("shard.heartbeat_age_ms");
+
+  // Per-shard liveness gauges, registered lazily so a run only creates
+  // the series it actually observes (registration takes the mutex).
+  std::map<int64_t, std::pair<Gauge *, Gauge *>> LivenessGauges;
+  const auto RecordLiveness = [&](int64_t Shard, int64_t StateBytes,
+                                  int64_t Layer) {
+    if (StateBytes < 0 && Layer < 0)
+      return;
+    auto &Pair = LivenessGauges[Shard];
+    if (!Pair.first) {
+      const std::string Id = std::to_string(Shard);
+      Pair.first = &MetricsRegistry::global().gauge(
+          labeledMetricName("shard.state_bytes", "shard", Id));
+      Pair.second = &MetricsRegistry::global().gauge(
+          labeledMetricName("shard.current_layer", "shard", Id));
+    }
+    if (StateBytes >= 0)
+      Pair.first->set(static_cast<double>(StateBytes));
+    if (Layer >= 0)
+      Pair.second->set(static_cast<double>(Layer));
+  };
+
+  const auto LogEv = [](LogLevel Level, const char *Event,
+                        std::initializer_list<LogField> Fields) {
+    if (logEnabled())
+      EventLog::global().emit(Level, Event, Fields);
+  };
 
   Timer Wall;
   const double Clock0 = Policy.Clock ? Policy.Clock() : 0.0;
@@ -192,6 +225,28 @@ ShardRunSummary ShardSupervisor::run() {
   };
 
   ShardScheduler Sched(Policy);
+
+  // One failure narration point, mirroring recordFailure's retry-vs-
+  // exhausted decision so the log tells the same story the scheduler acts
+  // out.
+  const auto LogFailure = [&](int64_t Shard, int64_t Attempt,
+                              AttemptOutcome Outcome) {
+    LogEv(LogLevel::Warn, "shard.exit",
+          {{"shard", Shard},
+           {"attempt", Attempt},
+           {"outcome", attemptOutcomeName(Outcome)}});
+    const int64_t NextAttempt = Attempt + 1;
+    if (Outcome == AttemptOutcome::Fatal || NextAttempt > Policy.MaxRetries)
+      LogEv(LogLevel::Error, "shard.exhausted",
+            {{"shard", Shard}, {"attempts", NextAttempt}});
+    else
+      LogEv(LogLevel::Info, "shard.retry",
+            {{"shard", Shard},
+             {"next_attempt", NextAttempt},
+             {"rung", shardRungName(rungForAttempt(NextAttempt))},
+             {"backoff_s", Sched.backoffDelay(NextAttempt)}});
+  };
+
   ShardRunSummary Summary;
   const int64_t N = std::max<int64_t>(Policy.NumShards, 1);
   Summary.Results.resize(static_cast<size_t>(N));
@@ -208,12 +263,16 @@ ShardRunSummary ShardSupervisor::run() {
         // the spawn.
         ++Summary.AdmissionRejects;
         AdmitRejectCtr.add(1);
+        LogEv(LogLevel::Warn, "shard.admission_reject",
+              {{"shard", Plan.Shard}, {"attempt", Plan.Attempt}});
         Sched.escalate(Plan.Shard);
         continue;
       }
       if (!Launcher.launch(Plan)) {
         ++Summary.Crashes;
         CrashCtr.add(1);
+        LogEv(LogLevel::Error, "shard.spawn_failed",
+              {{"shard", Plan.Shard}, {"attempt", Plan.Attempt}});
         Sched.recordFailure(Plan.Shard, AttemptOutcome::Crash, T);
         continue;
       }
@@ -222,10 +281,15 @@ ShardRunSummary ShardSupervisor::run() {
         ++Summary.Restarts;
         RestartCtr.add(1);
       }
+      LogEv(LogLevel::Info, "shard.spawn",
+            {{"shard", Plan.Shard},
+             {"attempt", Plan.Attempt},
+             {"rung", shardRungName(Plan.Rung)}});
       LiveWorker W;
       W.Plan = Plan;
       W.LaunchedAt = T;
       W.LastBeat = T;
+      W.LaunchEpochUs = TraceSession::global().nowUs();
       Live[Plan.Shard] = W;
     }
 
@@ -236,11 +300,42 @@ ShardRunSummary ShardSupervisor::run() {
       T = Now();
       if (P.HeartbeatSeen)
         W.LastBeat = T;
+      RecordLiveness(Shard, P.BeatStateBytes, P.BeatLayer);
       if (P.Finished) {
         AttemptSecondsHist.record(T - W.LaunchedAt);
         if (P.Outcome == AttemptOutcome::Ok) {
           P.Result.Shard = Shard;
           P.Result.Attempt = W.Plan.Attempt;
+          // Fold the worker's shipped telemetry into the coordinator's
+          // registries: metrics twice (once under the base names so
+          // totals equal coordinator + sum of workers, once under the
+          // shard=<id> dimension), trace events re-stamped onto the
+          // shard's process lane and shifted onto the coordinator clock,
+          // log records spliced verbatim.
+          if (P.Telemetry.HasMetrics && metricsEnabled()) {
+            foldIntoRegistry(MetricsRegistry::global(), P.Telemetry.Metrics);
+            foldIntoRegistry(MetricsRegistry::global(),
+                             P.Telemetry.Metrics.withLabel(
+                                 "shard", std::to_string(Shard)));
+          }
+          if (traceEnabled() && !P.Telemetry.Trace.empty()) {
+            TraceSession &TS = TraceSession::global();
+            TS.setProcessLabel(0, "coordinator");
+            TS.setProcessLabel(Shard + 1, "shard " + std::to_string(Shard));
+            for (TraceEvent E : P.Telemetry.Trace) {
+              E.Pid = Shard + 1;
+              E.StartUs += W.LaunchEpochUs;
+              TS.record(std::move(E));
+            }
+          }
+          if (logEnabled())
+            for (LogRecord R : P.Telemetry.Log)
+              EventLog::global().splice(std::move(R));
+          LogEv(LogLevel::Info, "shard.exit",
+                {{"shard", Shard},
+                 {"attempt", W.Plan.Attempt},
+                 {"outcome", "ok"},
+                 {"seconds", T - W.LaunchedAt}});
           Summary.Results[static_cast<size_t>(Shard)] = std::move(P.Result);
           Sched.recordSuccess(Shard);
         } else {
@@ -262,6 +357,7 @@ ShardRunSummary ShardSupervisor::run() {
           default:
             break;
           }
+          LogFailure(Shard, W.Plan.Attempt, P.Outcome);
           Sched.recordFailure(Shard, P.Outcome, T);
         }
         It = Live.erase(It);
@@ -277,15 +373,31 @@ ShardRunSummary ShardSupervisor::run() {
           ++Summary.HeartbeatMisses;
           HbMissCtr.add(1);
         }
+        LogEv(LogLevel::Warn, "shard.kill",
+              {{"shard", Shard},
+               {"attempt", W.Plan.Attempt},
+               {"reason", HeartbeatLate ? "heartbeat" : "deadline"},
+               {"beat_age_s", T - W.LastBeat},
+               {"run_s", T - W.LaunchedAt}});
         Launcher.kill(Shard);
         ++Summary.Hangs;
         HangCtr.add(1);
         AttemptSecondsHist.record(T - W.LaunchedAt);
+        LogFailure(Shard, W.Plan.Attempt, AttemptOutcome::Hang);
         Sched.recordFailure(Shard, AttemptOutcome::Hang, T);
         It = Live.erase(It);
         continue;
       }
       ++It;
+    }
+
+    // A hung-but-heartbeating worker looks healthy on the counters; the
+    // age of the stalest live heartbeat is what distinguishes it.
+    if (!Live.empty()) {
+      double MaxAge = 0.0;
+      for (const auto &[Shard, W] : Live)
+        MaxAge = std::max(MaxAge, T - W.LastBeat);
+      HbAgeGauge.set(MaxAge * 1000.0);
     }
 
     if (Live.empty() && !Sched.pendingWork())
@@ -313,6 +425,7 @@ ShardRunSummary ShardSupervisor::run() {
     Summary.Results[static_cast<size_t>(Shard)] = std::move(R);
     ++Summary.Fallbacks;
     FallbackCtr.add(1);
+    LogEv(LogLevel::Warn, "shard.fallback", {{"shard", Shard}});
   }
 
   RetryCtr.add(Sched.totalRetries());

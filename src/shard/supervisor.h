@@ -27,6 +27,7 @@
 #define GENPROVE_SHARD_SUPERVISOR_H
 
 #include "src/core/genprove.h"
+#include "src/shard/protocol.h"
 #include "src/shard/shard.h"
 
 #include <atomic>
@@ -159,6 +160,12 @@ struct WorkerPoll {
   AttemptOutcome Outcome = AttemptOutcome::Crash;
   ShardResult Result;        ///< valid only when Outcome == Ok
   bool HeartbeatSeen = false; ///< any heartbeat since the previous poll
+  /// Telemetry attached to the worker's result message (empty unless
+  /// Outcome == Ok and the worker was asked to ship telemetry).
+  ShardTelemetry Telemetry;
+  /// Latest heartbeat liveness digest; -1 = not reported.
+  int64_t BeatStateBytes = -1;
+  int64_t BeatLayer = -1;
 };
 
 /// Abstraction over "run one shard attempt somewhere". The production
@@ -222,6 +229,11 @@ private:
     AttemptPlan Plan;
     double LaunchedAt = 0.0;
     double LastBeat = 0.0;
+    /// Coordinator trace clock at launch; spliced worker trace events
+    /// (whose timestamps are relative to the worker's own epoch) are
+    /// shifted by this so retries and backoff gaps line up on the
+    /// coordinator timeline.
+    uint64_t LaunchEpochUs = 0;
   };
 
   ShardPolicy Policy;

@@ -4,6 +4,7 @@
 #include "src/nn/activations.h"
 #include "src/nn/linear.h"
 #include "src/obs/json.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/rng.h"
@@ -12,31 +13,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 namespace genprove {
 namespace {
 
-/// Saves and restores the global metrics/trace switches so obs tests cannot
-/// leak an enabled flag into the timing-sensitive rest of the suite.
+/// Saves and restores the global metrics/trace/log switches so obs tests
+/// cannot leak an enabled flag into the timing-sensitive rest of the suite.
 class ObsTest : public ::testing::Test {
 protected:
   void SetUp() override {
     WasMetrics = metricsEnabled();
     WasTrace = traceEnabled();
+    WasLog = logEnabled();
     MetricsRegistry::global().reset();
     TraceSession::global().clear();
+    EventLog::global().clear();
   }
   void TearDown() override {
     setMetricsEnabled(WasMetrics);
     setTraceEnabled(WasTrace);
+    setLogEnabled(WasLog);
     MetricsRegistry::global().reset();
     TraceSession::global().clear();
+    EventLog::global().clear();
   }
 
 private:
   bool WasMetrics = false;
   bool WasTrace = false;
+  bool WasLog = false;
 };
 
 //===----------------------------------------------------------------------===//
@@ -296,6 +305,144 @@ TEST_F(ObsTest, ClearDropsEventsAndRestartsEpoch) {
   TraceSession::global().clear();
   EXPECT_EQ(TraceSession::global().eventCount(), 0u);
   EXPECT_TRUE(validateJson(TraceSession::global().toChromeJson()));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace process lanes (cross-process splice support)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, TraceEventsCarryTheirProcessLane) {
+  setTraceEnabled(true);
+  { GENPROVE_SPAN("coordinator_work"); }
+  // Simulate the supervisor splicing a worker event into lane pid=3.
+  TraceEvent Worker;
+  Worker.Name = "worker_work";
+  Worker.StartUs = 10;
+  Worker.DurUs = 5;
+  Worker.SelfUs = 5;
+  Worker.Pid = 3;
+  TraceSession::global().record(Worker);
+  TraceSession::global().setProcessLabel(0, "coordinator");
+  TraceSession::global().setProcessLabel(3, "shard 2");
+
+  const std::string Json = TraceSession::global().toChromeJson();
+  std::string Error;
+  ASSERT_TRUE(validateJson(Json, &Error)) << Error << "\n" << Json;
+  // Default lane 0 for in-process spans, lane 3 for the spliced event.
+  EXPECT_NE(Json.find("\"pid\":0"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"pid\":3"), std::string::npos) << Json;
+  // process_name metadata events label the lanes.
+  EXPECT_NE(Json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shard 2\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Structured event log
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, EventLogJsonlIsValidAndMonotonic) {
+  setLogEnabled(true);
+  EventLog &Log = EventLog::global();
+  Log.setRunId("test-run");
+  Log.emit(LogLevel::Info, "run.start", {{"shards", int64_t(2)}});
+  Log.emit(LogLevel::Warn, "shard.retry",
+           {{"shard", int64_t(1)},
+            {"backoff_s", 0.25},
+            {"rung", "resilient"},
+            {"fatal", false}});
+  Log.emit(LogLevel::Error, "shard.exhausted", {{"shard", int64_t(1)}});
+
+  const std::string Jsonl = Log.toJsonl();
+  std::istringstream In(Jsonl);
+  std::string Line;
+  uint64_t LastTs = 0;
+  size_t NumLines = 0;
+  while (std::getline(In, Line)) {
+    ++NumLines;
+    std::string Error;
+    ASSERT_TRUE(validateJson(Line, &Error)) << Error << "\n" << Line;
+    JsonValue V;
+    ASSERT_TRUE(parseJson(Line, V, &Error)) << Error;
+    // Required schema fields on every line.
+    ASSERT_NE(V.find("ts_us"), nullptr);
+    ASSERT_NE(V.find("level"), nullptr);
+    ASSERT_NE(V.find("event"), nullptr);
+    ASSERT_NE(V.find("shard"), nullptr);
+    EXPECT_EQ(V.find("run")->stringOr(""), "test-run");
+    const uint64_t Ts = static_cast<uint64_t>(V.find("ts_us")->intOr(-1));
+    EXPECT_GE(Ts, LastTs); // monotonic timestamps
+    LastTs = Ts;
+  }
+  EXPECT_EQ(NumLines, 3u);
+  // Field payloads render with their native JSON types.
+  EXPECT_NE(Jsonl.find("\"backoff_s\":0.25"), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"rung\":\"resilient\""), std::string::npos);
+  EXPECT_NE(Jsonl.find("\"fatal\":false"), std::string::npos);
+  EXPECT_NE(Jsonl.find("\"level\":\"warn\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SplicedRecordsKeepTheirShardAndTimestamp) {
+  setLogEnabled(true);
+  EventLog &Log = EventLog::global();
+  Log.setShard(-1);
+  Log.emit(LogLevel::Info, "coordinator.event");
+
+  LogRecord Worker;
+  Worker.TsUs = 12345;
+  Worker.Level = LogLevel::Warn;
+  Worker.Shard = 2;
+  Worker.Event = "propagate.rollback";
+  Worker.Fields.push_back({"layer", LogValue(int64_t(4))});
+  Log.splice(Worker);
+
+  const auto Records = Log.records();
+  ASSERT_EQ(Records.size(), 2u);
+  EXPECT_EQ(Records[0].Shard, -1);
+  EXPECT_EQ(Records[1].Shard, 2);
+  EXPECT_EQ(Records[1].TsUs, 12345u); // worker's own clock, not re-stamped
+  EXPECT_EQ(Records[1].Event, "propagate.rollback");
+}
+
+TEST_F(ObsTest, FlushGuardWritesEveryConfiguredArtifact) {
+  setMetricsEnabled(true);
+  setTraceEnabled(true);
+  setLogEnabled(true);
+  MetricsRegistry::global().counter("flush.counter").add(1);
+  { GENPROVE_SPAN("flush_span"); }
+  EventLog::global().emit(LogLevel::Info, "flush.event");
+
+  const std::string Dir = ::testing::TempDir();
+  ObsFlushGuard::Paths P;
+  P.Trace = Dir + "/obs_flush_trace.json";
+  P.Metrics = Dir + "/obs_flush_metrics.json";
+  P.Prom = Dir + "/obs_flush.prom";
+  P.Log = Dir + "/obs_flush.jsonl";
+  ObsFlushGuard::configure(P);
+  { ObsFlushGuard Guard; } // dtor flushes
+
+  const auto Slurp = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::ostringstream Out;
+    Out << In.rdbuf();
+    return Out.str();
+  };
+  const std::string Trace = Slurp(P.Trace);
+  const std::string Metrics = Slurp(P.Metrics);
+  const std::string Prom = Slurp(P.Prom);
+  const std::string Log = Slurp(P.Log);
+  EXPECT_TRUE(validateJson(Trace)) << Trace;
+  EXPECT_NE(Trace.find("flush_span"), std::string::npos);
+  EXPECT_TRUE(validateJson(Metrics)) << Metrics;
+  EXPECT_NE(Metrics.find("flush.counter"), std::string::npos);
+  EXPECT_NE(Prom.find("genprove_flush_counter 1"), std::string::npos) << Prom;
+  EXPECT_TRUE(validateJson(Log)) << Log; // single line = one JSON object
+  EXPECT_NE(Log.find("\"event\":\"flush.event\""), std::string::npos);
+
+  // Unconfigure so no later guard rewrites these files.
+  ObsFlushGuard::configure(ObsFlushGuard::Paths());
+  for (const std::string &Path : {P.Trace, P.Metrics, P.Prom, P.Log})
+    std::remove(Path.c_str());
 }
 
 //===----------------------------------------------------------------------===//

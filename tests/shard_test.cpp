@@ -142,6 +142,92 @@ TEST(ShardProtocol, HeartbeatAndGarbageClassification) {
   EXPECT_FALSE(decodeShardResult(Beat, D)); // a heartbeat is not a result
 }
 
+TEST(ShardProtocol, HeartbeatCarriesTheLivenessDigest) {
+  const std::string Beat = encodeShardHeartbeat(2, 9, 1 << 20, 7);
+  ShardHeartbeat H;
+  ASSERT_TRUE(decodeShardHeartbeat(Beat, H));
+  EXPECT_EQ(H.Shard, 2);
+  EXPECT_EQ(H.Seq, 9);
+  EXPECT_EQ(H.StateBytes, 1 << 20);
+  EXPECT_EQ(H.Layer, 7);
+
+  // The digest defaults to -1 ("unknown") and still round-trips.
+  ShardHeartbeat Idle;
+  ASSERT_TRUE(decodeShardHeartbeat(encodeShardHeartbeat(0, 0), Idle));
+  EXPECT_EQ(Idle.StateBytes, -1);
+  EXPECT_EQ(Idle.Layer, -1);
+}
+
+TEST(ShardProtocol, ResultCarriesTelemetrySections) {
+  ShardResult R;
+  R.Shard = 1;
+  ShardSpecBounds SB;
+  SB.Lower = 0.25;
+  SB.Upper = 0.75;
+  R.Specs.push_back(SB);
+
+  ShardTelemetry Tel;
+  Tel.HasMetrics = true;
+  Tel.Metrics.Counters["propagate.splits"] = 12;
+  Tel.Metrics.Gauges["device.peak_bytes"] = 4096.0;
+  Tel.Metrics.Histograms["propagate.layer_seconds"].record(0.5);
+  TraceEvent E;
+  E.Name = "layer_0";
+  E.StartUs = 100;
+  E.DurUs = 50;
+  E.SelfUs = 40;
+  E.Tid = 1;
+  E.Depth = 2;
+  Tel.Trace.push_back(E);
+  LogRecord L;
+  L.TsUs = 777;
+  L.Level = LogLevel::Warn;
+  L.Shard = 1;
+  L.Event = "propagate.rollback";
+  L.Fields.push_back({"layer", LogValue(int64_t(3))});
+  L.Fields.push_back({"mass", LogValue(0.125)});
+  L.Fields.push_back({"rung", LogValue("resilient")});
+  Tel.Log.push_back(L);
+
+  const std::string Line = encodeShardResult(R, &Tel);
+  EXPECT_EQ(classifyShardMessage(Line), ShardMessageKind::Result);
+
+  ShardResult D;
+  ShardTelemetry Back;
+  std::string Error;
+  ASSERT_TRUE(decodeShardResult(Line, D, &Error, &Back)) << Error;
+  ASSERT_TRUE(Back.HasMetrics);
+  EXPECT_EQ(Back.Metrics.Counters.at("propagate.splits"), 12);
+  EXPECT_EQ(Back.Metrics.Gauges.at("device.peak_bytes"), 4096.0);
+  EXPECT_EQ(Back.Metrics.Histograms.at("propagate.layer_seconds").Count, 1);
+  ASSERT_EQ(Back.Trace.size(), 1u);
+  EXPECT_EQ(Back.Trace[0].Name, "layer_0");
+  EXPECT_EQ(Back.Trace[0].StartUs, 100u);
+  EXPECT_EQ(Back.Trace[0].DurUs, 50u);
+  EXPECT_EQ(Back.Trace[0].SelfUs, 40u);
+  EXPECT_EQ(Back.Trace[0].Tid, 1u);
+  EXPECT_EQ(Back.Trace[0].Depth, 2u);
+  ASSERT_EQ(Back.Log.size(), 1u);
+  EXPECT_EQ(Back.Log[0].TsUs, 777u);
+  EXPECT_EQ(Back.Log[0].Level, LogLevel::Warn);
+  EXPECT_EQ(Back.Log[0].Shard, 1);
+  EXPECT_EQ(Back.Log[0].Event, "propagate.rollback");
+  ASSERT_EQ(Back.Log[0].Fields.size(), 3u);
+  EXPECT_EQ(Back.Log[0].Fields[0].second.I, 3);
+  EXPECT_EQ(Back.Log[0].Fields[1].second.D, 0.125);
+  EXPECT_EQ(Back.Log[0].Fields[2].second.S, "resilient");
+
+  // A result without telemetry decodes to an empty section, and the old
+  // decode signature still works against a telemetry-bearing line.
+  ShardTelemetry None;
+  ShardResult D2;
+  ASSERT_TRUE(decodeShardResult(encodeShardResult(R), D2, nullptr, &None));
+  EXPECT_TRUE(None.empty());
+  ShardResult D3;
+  EXPECT_TRUE(decodeShardResult(Line, D3));
+  EXPECT_EQ(D3.Specs.size(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Scheduler: retry timing, rung escalation, exhaustion — on a fake clock,
 // so every assertion is exact (satellite: deterministic scheduling tests).

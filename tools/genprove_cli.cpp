@@ -14,6 +14,7 @@
 //                [--resilient] [--deadline-ms D]
 //                [--shards N] [--shard-retries R] [--shard-deadline-ms D]
 //                [--report] [--trace-out FILE.json] [--metrics-out FILE.json]
+//                [--log-out FILE.jsonl] [--prom-out FILE.prom] [--run-id ID]
 //
 // Latent vector files contain whitespace-separated doubles; non-finite
 // entries (and non-finite network weights) are rejected up front. Networks
@@ -44,7 +45,9 @@
 #include "src/domains/fault_injection.h"
 #include "src/nn/serialize.h"
 #include "src/util/fp.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
 #include "src/parallel/thread_pool.h"
 #include "src/shard/process_launcher.h"
@@ -91,7 +94,8 @@ namespace {
       "                    [--shards N] [--shard-retries R]\n"
       "                    [--shard-deadline-ms D] [--shard-heartbeat-ms T]\n"
       "                    [--report] [--trace-out FILE.json]\n"
-      "                    [--metrics-out FILE.json]\n"
+      "                    [--metrics-out FILE.json] [--log-out FILE.jsonl]\n"
+      "                    [--prom-out FILE.prom] [--run-id ID]\n"
       "\n"
       "parallelism:\n"
       "  --threads N         size of the shared worker pool (default: the\n"
@@ -144,8 +148,18 @@ namespace {
       "                      nodes, splits, boxed, charged bytes, seconds,\n"
       "                      degradation rung/rollbacks)\n"
       "  --trace-out FILE    write a Chrome trace-event JSON file (open in\n"
-      "                      chrome://tracing or ui.perfetto.dev)\n"
-      "  --metrics-out FILE  write the metrics registry snapshot as JSON\n"
+      "                      chrome://tracing or ui.perfetto.dev); on a\n"
+      "                      sharded run, one unified timeline with a\n"
+      "                      process lane per worker\n"
+      "  --metrics-out FILE  write the metrics registry snapshot as JSON;\n"
+      "                      on a sharded run, worker snapshots are folded\n"
+      "                      in (totals plus a shard=<id> dimension)\n"
+      "  --log-out FILE      write the structured JSONL event log (one\n"
+      "                      JSON object per supervision/degradation\n"
+      "                      event; schema in docs/OBSERVABILITY.md)\n"
+      "  --prom-out FILE     write the Prometheus text exposition of the\n"
+      "                      merged metrics\n"
+      "  --run-id ID         stamp log lines with ID (default: generated)\n"
       "\n"
       "exit codes: 0 analysis completed, 2 usage or input error,\n"
       "            3 simulated-device out of memory,\n"
@@ -282,12 +296,11 @@ void printLayerReport(const std::vector<LayerRecord> &Layers) {
 
 //===----------------------------------------------------------------------===//
 // Graceful shutdown: SIGINT/SIGTERM kill the worker brood, flush whatever
-// telemetry exists, and exit with the dedicated code 5 so scripts can tell
-// an interrupted run from a failed one.
+// telemetry exists (trace, metrics, Prometheus, JSONL log — one shared
+// flush point, ObsFlushGuard), and exit with the dedicated code 5 so
+// scripts can tell an interrupted run from a failed one.
 //===----------------------------------------------------------------------===//
 
-std::string ShutdownTracePath;   // set once after parsing, read by handler
-std::string ShutdownMetricsPath;
 std::atomic<bool> ShuttingDown{false};
 
 void handleShutdownSignal(int) {
@@ -295,11 +308,21 @@ void handleShutdownSignal(int) {
   if (ShuttingDown.exchange(true))
     _exit(5);
   killAllShardChildren(SIGKILL);
-  if (!ShutdownMetricsPath.empty())
-    MetricsRegistry::global().writeJson(ShutdownMetricsPath);
-  if (!ShutdownTracePath.empty())
-    TraceSession::global().writeChromeTrace(ShutdownTracePath);
+  ObsFlushGuard::flushNow();
   _exit(5);
+}
+
+/// A reasonably unique run id for log correlation: microseconds since the
+/// epoch plus the pid, both hex.
+std::string makeRunId() {
+  const auto Now = std::chrono::system_clock::now().time_since_epoch();
+  const auto Us =
+      std::chrono::duration_cast<std::chrono::microseconds>(Now).count();
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%llx-%x",
+                static_cast<unsigned long long>(Us),
+                static_cast<unsigned>(::getpid()));
+  return Buf;
 }
 
 //===----------------------------------------------------------------------===//
@@ -354,13 +377,21 @@ void maybeFireWorkerFault(const WorkerFaultPlan &Plan, int64_t Shard,
 }
 
 /// Heartbeat emitter: one protocol line every IntervalMs until stopped.
+/// Each beat carries the liveness digest (charged state bytes, current
+/// layer) sampled from the RunLiveness atomics the propagation loop
+/// refreshes — a hung worker keeps beating with a frozen digest, which is
+/// exactly how the supervisor tells "hung but heartbeating" from "slow".
 class HeartbeatThread {
 public:
   HeartbeatThread(int64_t Shard, double IntervalMs) {
     Worker = std::thread([this, Shard, IntervalMs] {
       int64_t Seq = 0;
       while (!Stop.load(std::memory_order_acquire)) {
-        const std::string Line = encodeShardHeartbeat(Shard, Seq++);
+        RunLiveness &Live = RunLiveness::global();
+        const std::string Line = encodeShardHeartbeat(
+            Shard, Seq++,
+            Live.StateBytes.load(std::memory_order_relaxed),
+            Live.CurrentLayer.load(std::memory_order_relaxed));
         std::fprintf(stdout, "%s\n", Line.c_str());
         std::fflush(stdout);
         // Sleep in small slices so shutdown is prompt.
@@ -391,7 +422,9 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> NetPaths;
   std::vector<std::string> SpecTexts;
   std::string StartPath, EndPath, ShapeText;
-  std::string TraceOutPath, MetricsOutPath;
+  std::string TraceOutPath, MetricsOutPath, LogOutPath, PromOutPath;
+  std::string RunId;
+  std::string ShardTelemetrySpec; ///< internal: coordinator -> worker
   bool Report = false;
   GenProveConfig Config;
   Config.NodeThreshold = 250;
@@ -537,6 +570,17 @@ int main(int Argc, char **Argv) {
       TraceOutPath = Next();
     } else if (Arg == "--metrics-out") {
       MetricsOutPath = Next();
+    } else if (Arg == "--log-out") {
+      LogOutPath = Next();
+    } else if (Arg == "--prom-out") {
+      PromOutPath = Next();
+    } else if (Arg == "--run-id") {
+      RunId = Next();
+    } else if (Arg == "--shard-telemetry") {
+      // Internal coordinator->worker flag: which telemetry planes the
+      // worker should record and attach to its result message
+      // (comma-separated subset of metrics,trace,log).
+      ShardTelemetrySpec = Next();
     } else {
       usage(("unknown option: " + Arg).c_str());
     }
@@ -565,21 +609,43 @@ int main(int Argc, char **Argv) {
       Config.Resilience.Clock = Injector.clock();
   }
 
-  // Observability is opt-in: tracing and metrics both default off.
-  if (!TraceOutPath.empty())
+  // Observability is opt-in: every plane defaults off. Workers enable
+  // planes from the coordinator's --shard-telemetry spec instead of from
+  // output paths (they ship data over the result message, never to files).
+  const bool TelMetrics =
+      ShardTelemetrySpec.find("metrics") != std::string::npos;
+  const bool TelTrace = ShardTelemetrySpec.find("trace") != std::string::npos;
+  const bool TelLog = ShardTelemetrySpec.find("log") != std::string::npos;
+  if (!TraceOutPath.empty() || TelTrace)
     setTraceEnabled(true);
-  if (!MetricsOutPath.empty() || Report)
+  if (!MetricsOutPath.empty() || !PromOutPath.empty() || Report || TelMetrics)
     setMetricsEnabled(true);
+  if (!LogOutPath.empty() || TelLog)
+    setLogEnabled(true);
+  if (logEnabled()) {
+    if (RunId.empty())
+      RunId = makeRunId();
+    EventLog::global().setRunId(RunId);
+    if (IsWorker)
+      EventLog::global().setShard(ShardWorker);
+  }
 
   // Graceful shutdown (not in workers: the supervisor owns their
   // lifecycle, and a worker's SIGKILL/SIGTERM semantics must stay raw so
-  // exit-status classification works).
+  // exit-status classification works). All exit paths — normal returns,
+  // DEGRADED exit 4, SIGINT/SIGTERM exit 5 — flush through the one
+  // ObsFlushGuard below; workers configure no paths so the guard is inert.
   if (!IsWorker) {
-    ShutdownTracePath = TraceOutPath;
-    ShutdownMetricsPath = MetricsOutPath;
+    ObsFlushGuard::Paths FlushTo;
+    FlushTo.Trace = TraceOutPath;
+    FlushTo.Metrics = MetricsOutPath;
+    FlushTo.Prom = PromOutPath;
+    FlushTo.Log = LogOutPath;
+    ObsFlushGuard::configure(FlushTo);
     std::signal(SIGINT, handleShutdownSignal);
     std::signal(SIGTERM, handleShutdownSignal);
   }
+  ObsFlushGuard FlushOnExit;
 
   // Load the pipeline.
   std::vector<Sequential> Networks;
@@ -666,12 +732,27 @@ int main(int Argc, char **Argv) {
     }
     if (Result.OutOfMemory) {
       // No sound partial bounds to report; exit 3 tells the supervisor
-      // this attempt is retryable at a higher rung.
+      // this attempt is retryable at a higher rung. (The attempt's
+      // telemetry dies with it — an accepted loss; the retry's survives.)
       std::fprintf(stderr, "genprove_cli: shard %lld out of memory\n",
                    static_cast<long long>(ShardWorker));
       return 3;
     }
-    const std::string Line = encodeShardResult(Result);
+    // Attach the telemetry planes the coordinator asked for to the result
+    // line; the supervisor folds metrics into its registry (totals plus a
+    // shard=<id> dimension), splices trace events into the unified
+    // timeline under pid = shard+1, and splices log records verbatim.
+    ShardTelemetry Tel;
+    if (TelMetrics) {
+      Tel.HasMetrics = true;
+      Tel.Metrics = MetricsSnapshot::capture(MetricsRegistry::global());
+    }
+    if (TelTrace)
+      Tel.Trace = TraceSession::global().events();
+    if (TelLog)
+      Tel.Log = EventLog::global().records();
+    const std::string Line =
+        encodeShardResult(Result, Tel.empty() ? nullptr : &Tel);
     std::fprintf(stdout, "%s\n", Line.c_str());
     std::fflush(stdout);
     return Result.Degraded ? 4 : 0;
@@ -693,6 +774,25 @@ int main(int Argc, char **Argv) {
     if (ThreadsGiven > 0)
       Forward({"--threads",
                std::to_string(std::max<int64_t>(ThreadsGiven / Shards, 1))});
+    // Workers record the same telemetry planes the coordinator has
+    // enabled and ship them back on the result message.
+    {
+      std::string Spec;
+      const auto Want = [&](bool On, const char *Name) {
+        if (!On)
+          return;
+        if (!Spec.empty())
+          Spec.push_back(',');
+        Spec.append(Name);
+      };
+      Want(metricsEnabled(), "metrics");
+      Want(traceEnabled(), "trace");
+      Want(logEnabled(), "log");
+      if (!Spec.empty())
+        Forward({"--shard-telemetry", Spec});
+      if (logEnabled())
+        Forward({"--run-id", RunId});
+    }
 
     GenProveConfig ShardConfig = Config;
     ShardConfig.MemoryBudgetBytes = PerShardBudget;
@@ -732,19 +832,20 @@ int main(int Argc, char **Argv) {
     };
 
     ShardSupervisor Supervisor(Policy, Launcher, Fallback, Admit);
+    if (logEnabled())
+      EventLog::global().emit(LogLevel::Info, "run.start",
+                              {{"shards", Shards},
+                               {"retries", ShardRetries}});
     const ShardRunSummary Summary = Supervisor.run();
     const int64_t NumSpecs = static_cast<int64_t>(Specs.size());
     MergedCertificate Merged = mergeShardResults(Summary.Results, NumSpecs);
     const bool Degraded = Merged.Degraded || Summary.Degraded;
-
-    if (!TraceOutPath.empty() &&
-        !TraceSession::global().writeChromeTrace(TraceOutPath))
-      std::fprintf(stderr, "genprove_cli: cannot write trace to %s\n",
-                   TraceOutPath.c_str());
-    if (!MetricsOutPath.empty() &&
-        !MetricsRegistry::global().writeJson(MetricsOutPath))
-      std::fprintf(stderr, "genprove_cli: cannot write metrics to %s\n",
-                   MetricsOutPath.c_str());
+    if (logEnabled())
+      EventLog::global().emit(LogLevel::Info, "run.exit",
+                              {{"exit_code", Degraded ? 4 : 0},
+                               {"degraded", Degraded},
+                               {"restarts", Summary.Restarts},
+                               {"fallbacks", Summary.Fallbacks}});
 
     for (size_t I = 0; I < Specs.size(); ++I) {
       ProbBounds Bounds = Merged.Specs[I];
@@ -826,18 +927,11 @@ int main(int Argc, char **Argv) {
     });
   }
 
-  // Emit the observability artifacts even on OOM — a failing run is
-  // exactly when the per-layer timeline matters.
+  // The observability artifacts are flushed by FlushOnExit on every exit
+  // path — including the OOM return below; a failing run is exactly when
+  // the per-layer timeline matters.
   if (Report && !State.Stats.Layers.empty())
     printLayerReport(State.Stats.Layers);
-  if (!TraceOutPath.empty() &&
-      !TraceSession::global().writeChromeTrace(TraceOutPath))
-    std::fprintf(stderr, "genprove_cli: cannot write trace to %s\n",
-                 TraceOutPath.c_str());
-  if (!MetricsOutPath.empty() &&
-      !MetricsRegistry::global().writeJson(MetricsOutPath))
-    std::fprintf(stderr, "genprove_cli: cannot write metrics to %s\n",
-                 MetricsOutPath.c_str());
 
   if (State.OutOfMemory) {
     std::printf("result: OUT OF MEMORY (budget %s; try --p, --schedule or "
