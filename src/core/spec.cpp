@@ -6,7 +6,9 @@
 #include "src/util/fp.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 namespace genprove {
 
@@ -283,6 +285,102 @@ ProbBounds computeProbBounds(const std::vector<Region> &Regions,
   Bounds.Lower = std::clamp(Bounds.Lower, 0.0, 1.0);
   Bounds.Upper = std::clamp(Bounds.Upper, 0.0, 1.0);
   return Bounds;
+}
+
+namespace {
+
+/// strtoll/strtod with full-token validation; false on anything but a
+/// complete numeric token.
+bool parseInt(const std::string &Text, int64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  const long long V = std::strtoll(Text.c_str(), &End, 10);
+  if (End != Text.c_str() + Text.size() || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseReal(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  const double V = std::strtod(Text.c_str(), &End);
+  if (End != Text.c_str() + Text.size() || !std::isfinite(V))
+    return false;
+  Out = V;
+  return true;
+}
+
+bool specError(std::string *Err, const char *Message) {
+  if (Err)
+    *Err = Message;
+  return false;
+}
+
+} // namespace
+
+bool parseOutputSpecText(const std::string &Text, OutputSpec &Out,
+                         std::string *Err) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (true) {
+    const size_t Colon = Text.find(':', Pos);
+    if (Colon == std::string::npos) {
+      Parts.push_back(Text.substr(Pos));
+      break;
+    }
+    Parts.push_back(Text.substr(Pos, Colon - Pos));
+    Pos = Colon + 1;
+  }
+  const std::string &Kind = Parts[0];
+  if (Kind == "argmax") {
+    int64_t Target = 0, Classes = 0;
+    if (Parts.size() != 3 || !parseInt(Parts[1], Target) ||
+        !parseInt(Parts[2], Classes))
+      return specError(Err, "argmax spec wants argmax:T:N");
+    if (Classes < 2 || Target < 0 || Target >= Classes)
+      return specError(Err, "argmax spec target out of range");
+    Out = OutputSpec::argmaxWins(Target, Classes);
+    return true;
+  }
+  if (Kind == "sign") {
+    int64_t Attr = 0, Outputs = 0;
+    if (Parts.size() != 4 || !parseInt(Parts[1], Attr) ||
+        (Parts[2] != "+" && Parts[2] != "-") || !parseInt(Parts[3], Outputs))
+      return specError(Err, "sign spec wants sign:I:+|-:N");
+    if (Outputs < 1 || Attr < 0 || Attr >= Outputs)
+      return specError(Err, "sign spec attribute out of range");
+    Out = OutputSpec::attributeSign(Attr, Parts[2] == "+", Outputs);
+    return true;
+  }
+  if (Kind == "halfspace") {
+    double Offset = 0.0;
+    if (Parts.size() != 3 || !parseReal(Parts[1], Offset))
+      return specError(Err, "halfspace spec wants halfspace:C:g0,g1,...");
+    std::vector<double> G;
+    size_t P = 0;
+    const std::string &Coeffs = Parts[2];
+    while (true) {
+      const size_t Comma = Coeffs.find(',', P);
+      const std::string Token = Comma == std::string::npos
+                                    ? Coeffs.substr(P)
+                                    : Coeffs.substr(P, Comma - P);
+      double V = 0.0;
+      if (!parseReal(Token, V))
+        return specError(Err, "halfspace spec has a non-numeric coefficient");
+      G.push_back(V);
+      if (Comma == std::string::npos)
+        break;
+      P = Comma + 1;
+    }
+    Tensor Normal({1, static_cast<int64_t>(G.size())}, std::move(G));
+    Out = OutputSpec::halfspace(std::move(Normal), Offset);
+    return true;
+  }
+  return specError(Err, "unknown spec kind (use argmax / sign / halfspace)");
 }
 
 } // namespace genprove

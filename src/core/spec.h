@@ -121,6 +121,19 @@ void curveMassInsideBounds(const Region &Curve, const OutputSpec &Spec,
                            const std::function<double(double)> &Cdf,
                            double &MassLo, double &MassHi);
 
+/// Parse the textual spec grammar shared by genprove_cli, genprove_serve
+/// and genprove_loadgen:
+///
+///   argmax:T:N            class T wins the argmax over N classes
+///   sign:I:+|-:N          attribute I has the given sign (N outputs)
+///   halfspace:C:g0,g1,... custom functional g . y + C > 0
+///
+/// Returns false (with a human-readable message in \p Err when non-null)
+/// on any malformed input — never exits, so a hostile network request
+/// cannot take the daemon down through its spec string.
+bool parseOutputSpecText(const std::string &Text, OutputSpec &Out,
+                         std::string *Err = nullptr);
+
 } // namespace genprove
 
 #endif // GENPROVE_CORE_SPEC_H

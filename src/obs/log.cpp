@@ -84,22 +84,54 @@ void EventLog::emit(LogLevel Level, const char *Event,
   R.TsUs = (steadyNowNs() - EpochNs) / 1000;
   R.Shard = Shard;
   Records.push_back(std::move(R));
+  ++NextSeq;
+  while (Capacity && Records.size() > Capacity) {
+    Records.pop_front();
+    ++FrontSeq;
+    ++Dropped;
+  }
 }
 
 void EventLog::splice(LogRecord R) {
   std::lock_guard<std::mutex> Lock(Mu);
   Records.push_back(std::move(R));
+  ++NextSeq;
+  while (Capacity && Records.size() > Capacity) {
+    Records.pop_front();
+    ++FrontSeq;
+    ++Dropped;
+  }
+}
+
+void EventLog::setCapacity(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Capacity = N;
+  while (Capacity && Records.size() > Capacity) {
+    Records.pop_front();
+    ++FrontSeq;
+    ++Dropped;
+  }
+}
+
+uint64_t EventLog::droppedRecords() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
 }
 
 std::vector<LogRecord> EventLog::records() const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return Records;
+  return std::vector<LogRecord>(Records.begin(), Records.end());
 }
 
 void EventLog::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Records.clear();
   EpochNs = steadyNowNs();
+  Dropped = 0;
+  NextSeq = 0;
+  FrontSeq = 0;
+  AppendCursor = 0;
+  AppendPath.clear();
 }
 
 std::string EventLog::recordToJson(const LogRecord &R,
@@ -138,7 +170,7 @@ std::string EventLog::toJsonl() const {
   std::string Id;
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    Copy = Records;
+    Copy.assign(Records.begin(), Records.end());
     Id = RunId;
   }
   std::string Out;
@@ -154,6 +186,35 @@ bool EventLog::writeJsonl(const std::string &Path) const {
   if (!Out)
     return false;
   Out << toJsonl();
+  return static_cast<bool>(Out);
+}
+
+bool EventLog::appendJsonl(const std::string &Path) {
+  std::vector<LogRecord> Fresh;
+  std::string Id;
+  bool Restart = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Path != AppendPath) {
+      AppendPath = Path;
+      AppendCursor = FrontSeq;
+      Restart = true;
+    }
+    // Records evicted before this flush are gone; the cursor can only
+    // point inside (or at the end of) the live window.
+    if (AppendCursor < FrontSeq)
+      AppendCursor = FrontSeq;
+    const size_t First = static_cast<size_t>(AppendCursor - FrontSeq);
+    Fresh.assign(Records.begin() + static_cast<ptrdiff_t>(First),
+                 Records.end());
+    AppendCursor = NextSeq;
+    Id = RunId;
+  }
+  std::ofstream Out(Path, Restart ? std::ios::trunc : std::ios::app);
+  if (!Out)
+    return false;
+  for (const LogRecord &R : Fresh)
+    Out << recordToJson(R, Id) << '\n';
   return static_cast<bool>(Out);
 }
 
@@ -192,10 +253,14 @@ void ObsFlushGuard::flushNow() {
       !MetricsRegistry::global().writePrometheus(FlushPaths.Prom))
     std::fprintf(stderr, "genprove_cli: failed to write prometheus to '%s'\n",
                  FlushPaths.Prom.c_str());
-  if (!FlushPaths.Log.empty() &&
-      !EventLog::global().writeJsonl(FlushPaths.Log))
-    std::fprintf(stderr, "genprove_cli: failed to write log to '%s'\n",
-                 FlushPaths.Log.c_str());
+  if (!FlushPaths.Log.empty()) {
+    const bool Ok = FlushPaths.AppendLog
+                        ? EventLog::global().appendJsonl(FlushPaths.Log)
+                        : EventLog::global().writeJsonl(FlushPaths.Log);
+    if (!Ok)
+      std::fprintf(stderr, "genprove_cli: failed to write log to '%s'\n",
+                   FlushPaths.Log.c_str());
+  }
 }
 
 } // namespace genprove

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <initializer_list>
 #include <mutex>
 #include <string>
@@ -105,6 +106,15 @@ public:
   /// Append a pre-stamped record verbatim (cross-process splice).
   void splice(LogRecord R);
 
+  /// Bound the in-memory buffer for long-lived processes: once more than
+  /// \p N records are held, the oldest are dropped (and counted in
+  /// droppedRecords()). 0 = unbounded, the CLI default — a one-shot run
+  /// flushes everything at exit, a daemon must not grow without bound.
+  void setCapacity(size_t N);
+
+  /// Records evicted by the capacity ring before they could be flushed.
+  uint64_t droppedRecords() const;
+
   std::vector<LogRecord> records() const;
   void clear(); ///< drop records and restart the timestamp epoch
 
@@ -115,6 +125,14 @@ public:
   std::string toJsonl() const;
   bool writeJsonl(const std::string &Path) const;
 
+  /// Idempotent incremental flush for long-lived processes: appends only
+  /// the records not yet written to \p Path by a previous appendJsonl
+  /// call, so repeated /stats-driven flushes and the final exit flush
+  /// emit every record exactly once even while the capacity ring evicts
+  /// old records from memory. The cursor is keyed to the path — the
+  /// first call on a new path truncates and starts over.
+  bool appendJsonl(const std::string &Path);
+
   /// Render one record as a single JSON line (no trailing newline).
   static std::string recordToJson(const LogRecord &R, const std::string &RunId);
 
@@ -122,10 +140,16 @@ private:
   EventLog();
 
   mutable std::mutex Mu;
-  std::vector<LogRecord> Records;
+  std::deque<LogRecord> Records;
   std::string RunId;
   int64_t Shard = -1;
   uint64_t EpochNs = 0;
+  size_t Capacity = 0;        ///< 0 = unbounded
+  uint64_t Dropped = 0;       ///< ring evictions
+  uint64_t NextSeq = 0;       ///< seq of the next record appended
+  uint64_t FrontSeq = 0;      ///< seq of Records.front()
+  uint64_t AppendCursor = 0;  ///< first seq not yet written by appendJsonl
+  std::string AppendPath;     ///< path the cursor belongs to
 };
 
 /// Lock-free liveness digest: the propagation engine stores the current
@@ -153,6 +177,11 @@ public:
     std::string Metrics; ///< metrics registry JSON
     std::string Prom;    ///< Prometheus text exposition
     std::string Log;     ///< JSONL event log
+    /// Append-mode log flush (daemon): each flush appends only records
+    /// not yet written, pairing with EventLog::setCapacity so repeated
+    /// mid-run flushes plus the exit flush emit every record once. The
+    /// default rewrite mode suits one-shot CLI runs.
+    bool AppendLog = false;
   };
 
   static void configure(Paths P);

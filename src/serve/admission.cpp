@@ -1,0 +1,223 @@
+//===- serve/admission.cpp ------------------------------------*- C++ -*-===//
+
+#include "src/serve/admission.h"
+
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace genprove {
+
+const char *shedReasonName(ShedReason R) {
+  switch (R) {
+  case ShedReason::None:
+    return "none";
+  case ShedReason::QueueFull:
+    return "queue-full";
+  case ShedReason::Timeout:
+    return "timeout";
+  case ShedReason::Draining:
+    return "draining";
+  }
+  return "none";
+}
+
+//===----------------------------------------------------------------------===//
+// AdmissionTicket
+//===----------------------------------------------------------------------===//
+
+AdmissionTicket::AdmissionTicket(AdmissionTicket &&O) noexcept
+    : Owner(O.Owner), BudgetBytes(O.BudgetBytes), QueueSeconds(O.QueueSeconds),
+      Reason(O.Reason) {
+  O.Owner = nullptr;
+}
+
+AdmissionTicket &AdmissionTicket::operator=(AdmissionTicket &&O) noexcept {
+  if (this != &O) {
+    release();
+    Owner = O.Owner;
+    BudgetBytes = O.BudgetBytes;
+    QueueSeconds = O.QueueSeconds;
+    Reason = O.Reason;
+    O.Owner = nullptr;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() { release(); }
+
+void AdmissionTicket::release() {
+  if (Owner) {
+    Owner->release(BudgetBytes);
+    Owner = nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// AdmissionController
+//===----------------------------------------------------------------------===//
+
+AdmissionController::AdmissionController(Config C) : Cfg(C) {
+  if (Cfg.MaxConcurrent < 1)
+    Cfg.MaxConcurrent = 1;
+  if (Cfg.MaxQueue < 0)
+    Cfg.MaxQueue = 0;
+}
+
+AdmissionTicket AdmissionController::acquire(size_t RequestedBytes,
+                                             double DeadlineSeconds) {
+  static Counter &Admitted =
+      MetricsRegistry::global().counter("serve.admitted");
+  static Counter &Shed = MetricsRegistry::global().counter("serve.shed");
+  static Histogram &QueueWait =
+      MetricsRegistry::global().histogram("serve.queue_wait_seconds");
+
+  using Clock = std::chrono::steady_clock;
+  const auto Enqueued = Clock::now();
+  AdmissionTicket T;
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (Draining) {
+    T.Reason = ShedReason::Draining;
+    Shed.add();
+    return T;
+  }
+  // The queue bound counts only requests *waiting* for a slot; a request
+  // that can run immediately is never shed for queue depth.
+  const bool MustWait = Running >= Cfg.MaxConcurrent;
+  if (MustWait && Waiting >= Cfg.MaxQueue) {
+    T.Reason = ShedReason::QueueFull;
+    Shed.add();
+    return T;
+  }
+
+  // Effective wait bound: the tighter of the server policy and the
+  // request's own deadline (waiting past the deadline would only produce
+  // an answer the client has already given up on).
+  double WaitBound = Cfg.MaxQueueWaitSeconds;
+  if (DeadlineSeconds > 0.0 &&
+      (WaitBound <= 0.0 || DeadlineSeconds < WaitBound))
+    WaitBound = DeadlineSeconds;
+
+  const uint64_t MySeq = NextSeq++;
+  ++Waiting;
+  // A waiter is the FIFO head once every older sequence was served or
+  // abandoned (shed waiters park their sequence in Abandoned so the head
+  // pointer can step over them).
+  const auto AtHead = [&] {
+    while (!Abandoned.empty() && *Abandoned.begin() == ServeSeq) {
+      Abandoned.erase(Abandoned.begin());
+      ++ServeSeq;
+    }
+    return MySeq == ServeSeq;
+  };
+  while (true) {
+    if (Draining) {
+      T.Reason = ShedReason::Draining;
+      break;
+    }
+    if (AtHead() && Running < Cfg.MaxConcurrent)
+      break;
+    if (WaitBound <= 0.0) {
+      Cv.wait(Lock);
+      continue;
+    }
+    const auto WaitUntil =
+        Enqueued + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(WaitBound));
+    if (Cv.wait_until(Lock, WaitUntil) == std::cv_status::timeout &&
+        Clock::now() >= WaitUntil) {
+      // Re-check the admission condition once under the lock — a slot may
+      // have freed exactly at the deadline.
+      if (AtHead() && Running < Cfg.MaxConcurrent)
+        break;
+      T.Reason = ShedReason::Timeout;
+      break;
+    }
+  }
+  --Waiting;
+  const double Waited =
+      std::chrono::duration<double>(Clock::now() - Enqueued).count();
+  QueueWait.record(Waited);
+
+  if (T.Reason != ShedReason::None) {
+    if (MySeq == ServeSeq)
+      ++ServeSeq;
+    else
+      Abandoned.insert(MySeq);
+    Cv.notify_all();
+    Shed.add();
+    return T;
+  }
+
+  ++ServeSeq;
+  ++Running;
+  // The budget slice: the fair share of the daemon ceiling, tightened by
+  // the client's own ask and by what is actually uncommitted right now.
+  if (Cfg.BudgetBytes == 0) {
+    T.BudgetBytes = RequestedBytes; // 0 = unlimited, like the CLI default
+  } else {
+    const size_t Fair =
+        std::max<size_t>(Cfg.BudgetBytes /
+                             static_cast<size_t>(Cfg.MaxConcurrent),
+                         1);
+    const size_t Available =
+        Cfg.BudgetBytes > CommittedBytes ? Cfg.BudgetBytes - CommittedBytes : 1;
+    size_t Slice = std::min(Fair, Available);
+    if (RequestedBytes > 0)
+      Slice = std::min(Slice, RequestedBytes);
+    Slice = std::max<size_t>(Slice, 1);
+    T.BudgetBytes = Slice;
+    CommittedBytes += Slice;
+  }
+  T.Owner = this;
+  T.QueueSeconds = Waited;
+  Admitted.add();
+  Cv.notify_all();
+  return T;
+}
+
+void AdmissionController::release(size_t Bytes) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Cfg.BudgetBytes != 0)
+      CommittedBytes = CommittedBytes >= Bytes ? CommittedBytes - Bytes : 0;
+    --Running;
+  }
+  Cv.notify_all();
+}
+
+void AdmissionController::beginDrain() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Draining = true;
+  }
+  Cv.notify_all();
+}
+
+bool AdmissionController::awaitIdle(double TimeoutSeconds) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  const auto Idle = [this] { return Running == 0; };
+  if (TimeoutSeconds <= 0.0)
+    return Idle();
+  return Cv.wait_for(Lock, std::chrono::duration<double>(TimeoutSeconds),
+                     Idle);
+}
+
+int64_t AdmissionController::inFlight() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Running;
+}
+
+int64_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Waiting;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Draining;
+}
+
+} // namespace genprove

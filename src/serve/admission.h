@@ -1,0 +1,131 @@
+//===- serve/admission.h - Request admission control -----------*- C++ -*-===//
+///
+/// \file
+/// Admission control for the verification daemon: one global memory
+/// budget (the daemon-wide DeviceMemoryModel ceiling) partitioned among
+/// concurrently-admitted requests, plus a bounded wait queue. Each
+/// admitted request receives a budget *slice* — min(requested, fair
+/// share, what is currently uncommitted) — that becomes its engine
+/// GenProveConfig::MemoryBudgetBytes, so the sum of live engine budgets
+/// can never exceed the daemon ceiling and the simulated device cannot be
+/// overcommitted no matter how many clients pile on.
+///
+/// A request that cannot be admitted immediately waits in FIFO order up
+/// to the queue bound and its own deadline; when either is exceeded (or
+/// the queue is full, or the server is draining) it is *shed* with an
+/// explicit OVERLOADED response — the load-shedding contract: every
+/// request gets an answer, the unlucky ones get a cheap honest one
+/// instead of an OOM or a silent hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_SERVE_ADMISSION_H
+#define GENPROVE_SERVE_ADMISSION_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+namespace genprove {
+
+class AdmissionController;
+
+/// Why a request was refused.
+enum class ShedReason : uint8_t {
+  None = 0,
+  QueueFull,  ///< the bounded wait queue was already at capacity
+  Timeout,    ///< queued longer than the wait bound / request deadline
+  Draining,   ///< the server is shutting down and takes no new work
+};
+
+const char *shedReasonName(ShedReason R);
+
+/// RAII admission ticket: releases the request's budget slice and
+/// concurrency slot on destruction. Movable, not copyable.
+class AdmissionTicket {
+public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket &&O) noexcept;
+  AdmissionTicket &operator=(AdmissionTicket &&O) noexcept;
+  AdmissionTicket(const AdmissionTicket &) = delete;
+  AdmissionTicket &operator=(const AdmissionTicket &) = delete;
+  ~AdmissionTicket();
+
+  bool admitted() const { return Owner != nullptr; }
+  ShedReason shedReason() const { return Reason; }
+  /// The engine memory budget this request may use; 0 = unlimited (only
+  /// when the daemon itself runs without a budget).
+  size_t budgetBytes() const { return BudgetBytes; }
+  /// Time spent waiting for admission, in seconds.
+  double queueSeconds() const { return QueueSeconds; }
+
+  void release();
+
+private:
+  friend class AdmissionController;
+
+  AdmissionController *Owner = nullptr;
+  size_t BudgetBytes = 0;
+  double QueueSeconds = 0.0;
+  ShedReason Reason = ShedReason::None;
+};
+
+/// The daemon-wide admission gate. Thread-safe; acquire() blocks the
+/// calling connection thread (each connection has its own), not the
+/// accept loop.
+class AdmissionController {
+public:
+  struct Config {
+    /// Daemon-wide simulated-device budget; 0 = unlimited (slices are
+    /// then also unlimited and only MaxConcurrent gates admission).
+    size_t BudgetBytes = 0;
+    /// Concurrently-admitted requests; also the denominator of the fair
+    /// budget share.
+    int64_t MaxConcurrent = 4;
+    /// Requests allowed to wait for a slot beyond the concurrent ones.
+    int64_t MaxQueue = 16;
+    /// Longest a request may wait before it is shed; <= 0 disables the
+    /// bound (requests then wait up to their own deadline, or forever).
+    double MaxQueueWaitSeconds = 5.0;
+  };
+
+  explicit AdmissionController(Config C);
+
+  /// Try to admit a request. \p RequestedBytes is the client's own budget
+  /// ask (0 = no preference → fair share); \p DeadlineSeconds caps the
+  /// wait (<= 0 = no request deadline). Blocks until admitted or shed.
+  AdmissionTicket acquire(size_t RequestedBytes, double DeadlineSeconds);
+
+  /// Enter drain mode: all queued and future acquires shed immediately
+  /// with ShedReason::Draining; running tickets are unaffected.
+  void beginDrain();
+
+  /// Block until every admitted ticket has been released, or the timeout
+  /// expires; true when fully drained.
+  bool awaitIdle(double TimeoutSeconds);
+
+  int64_t inFlight() const;
+  int64_t queued() const;
+  bool draining() const;
+
+private:
+  friend class AdmissionTicket;
+  void release(size_t Bytes);
+
+  Config Cfg;
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  size_t CommittedBytes = 0; ///< summed slices of admitted requests
+  int64_t Running = 0;
+  int64_t Waiting = 0;
+  uint64_t NextSeq = 0;   ///< FIFO ticket order
+  uint64_t ServeSeq = 0;  ///< next sequence eligible for admission
+  std::set<uint64_t> Abandoned; ///< shed sequences the head steps over
+  bool Draining = false;
+};
+
+} // namespace genprove
+
+#endif // GENPROVE_SERVE_ADMISSION_H

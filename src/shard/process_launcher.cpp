@@ -3,6 +3,7 @@
 #include "src/shard/process_launcher.h"
 
 #include "src/shard/protocol.h"
+#include "src/util/io.h"
 
 #include <atomic>
 #include <cerrno>
@@ -124,22 +125,22 @@ bool ProcessShardLauncher::drainPipe(Child &C) {
     return false;
   char Buf[4096];
   while (true) {
-    const ssize_t N = ::read(C.PipeFd, Buf, sizeof(Buf));
+    const ssize_t N = readChunk(C.PipeFd, Buf, sizeof(Buf));
     if (N > 0) {
-      C.Buffer.append(Buf, static_cast<size_t>(N));
+      C.Framer.feed(Buf, static_cast<size_t>(N));
       continue;
     }
-    if (N < 0 && errno == EINTR)
-      continue;
     break; // EOF or EAGAIN
   }
-  size_t Start = 0;
+  std::string Line;
   while (true) {
-    const size_t Nl = C.Buffer.find('\n', Start);
-    if (Nl == std::string::npos)
+    const LineFramer::Frame F = C.Framer.next(Line);
+    if (F == LineFramer::Frame::None)
       break;
-    const std::string Line = C.Buffer.substr(Start, Nl - Start);
-    Start = Nl + 1;
+    if (F == LineFramer::Frame::Oversized) {
+      ++C.WireErrors; // typed: a discarded over-cap line, not silence
+      continue;
+    }
     switch (classifyShardMessage(Line)) {
     case ShardMessageKind::Heartbeat: {
       Heartbeat = true;
@@ -156,10 +157,10 @@ bool ProcessShardLauncher::drainPipe(Child &C) {
       C.ResultLine = Line;
       break;
     case ShardMessageKind::Invalid:
-      break; // stray stdout noise; ignored, the result must still parse
+      ++C.WireErrors;
+      break; // stray stdout noise; counted, the result must still parse
     }
   }
-  C.Buffer.erase(0, Start);
   C.SawHeartbeat = C.SawHeartbeat || Heartbeat;
   return Heartbeat;
 }

@@ -25,6 +25,7 @@
 #ifndef GENPROVE_SHARD_PROCESS_LAUNCHER_H
 #define GENPROVE_SHARD_PROCESS_LAUNCHER_H
 
+#include "src/shard/protocol.h"
 #include "src/shard/supervisor.h"
 
 #include <map>
@@ -57,12 +58,17 @@ public:
 private:
   struct Child {
     pid_t Pid = -1;
-    int PipeFd = -1;       ///< non-blocking read end of the worker's stdout
-    std::string Buffer;    ///< partial line carried across polls
+    int PipeFd = -1; ///< non-blocking read end of the worker's stdout
+    /// Shared newline framer: partial lines carry across polls, and an
+    /// over-cap line (a wedged worker spraying garbage) is discarded with
+    /// a typed marker instead of growing the buffer without bound. The
+    /// cap is generous — result lines carry full telemetry snapshots.
+    LineFramer Framer{1u << 28};
     std::string ResultLine; ///< last complete result message seen
     bool SawHeartbeat = false;
     int64_t BeatStateBytes = -1; ///< latest heartbeat liveness digest
     int64_t BeatLayer = -1;
+    uint64_t WireErrors = 0; ///< oversized/garbage lines from this worker
   };
 
   /// Drain available pipe bytes into the child's buffer and consume

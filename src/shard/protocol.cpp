@@ -5,8 +5,92 @@
 #include "src/obs/json.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace genprove {
+
+//===----------------------------------------------------------------------===//
+// LineFramer
+//===----------------------------------------------------------------------===//
+
+const char *wireErrorName(WireError E) {
+  switch (E) {
+  case WireError::None:
+    return "none";
+  case WireError::Oversized:
+    return "oversized";
+  case WireError::Truncated:
+    return "truncated";
+  }
+  return "none";
+}
+
+LineFramer::LineFramer(size_t MaxLineBytes)
+    : MaxLine(MaxLineBytes ? MaxLineBytes : 1) {}
+
+void LineFramer::feed(const char *Data, size_t Len) {
+  size_t I = 0;
+  while (I < Len) {
+    if (Dropping) {
+      // Discard up to and including the newline that ends the over-cap
+      // line; the Oversized marker was queued when the cap was crossed.
+      const void *Nl = memchr(Data + I, '\n', Len - I);
+      if (!Nl)
+        return; // still inside the discarded line
+      I = static_cast<size_t>(static_cast<const char *>(Nl) - Data) + 1;
+      Dropping = false;
+      continue;
+    }
+    const void *Nl = memchr(Data + I, '\n', Len - I);
+    const size_t Stop =
+        Nl ? static_cast<size_t>(static_cast<const char *>(Nl) - Data) : Len;
+    const size_t Take = Stop - I;
+    if (Partial.size() + Take > MaxLine) {
+      // Cap crossed: forget what we buffered, queue one typed marker in
+      // order, and discard the rest of this line as it streams in.
+      Partial.clear();
+      Dropping = true;
+      ++OversizedCount;
+      Ready.push_back(Pending{true, std::string()});
+      if (Nl) {
+        I = Stop + 1;
+        Dropping = false;
+      } else {
+        return;
+      }
+      continue;
+    }
+    Partial.append(Data + I, Take);
+    if (!Nl)
+      return;
+    Ready.push_back(Pending{false, std::move(Partial)});
+    Partial.clear();
+    I = Stop + 1;
+  }
+}
+
+LineFramer::Frame LineFramer::next(std::string &Line) {
+  if (Ready.empty()) {
+    Line.clear();
+    return Frame::None;
+  }
+  Pending P = std::move(Ready.front());
+  Ready.pop_front();
+  if (P.Oversized) {
+    Line.clear();
+    return Frame::Oversized;
+  }
+  Line = std::move(P.Text);
+  return Frame::Line;
+}
+
+WireError LineFramer::finish() const {
+  if (Dropping)
+    return WireError::Oversized;
+  if (!Partial.empty())
+    return WireError::Truncated;
+  return WireError::None;
+}
 
 std::string encodeShardHeartbeat(int64_t Shard, int64_t Seq,
                                  int64_t StateBytes, int64_t Layer) {

@@ -33,10 +33,73 @@
 #include "src/obs/trace.h"
 #include "src/shard/shard.h"
 
+#include <deque>
 #include <string>
 #include <vector>
 
 namespace genprove {
+
+/// Typed wire-level failure for the newline-JSON framing shared by the
+/// shard pipe and the genprove_serve sockets. Distinct from message-level
+/// problems (a well-framed line that is not valid JSON classifies as
+/// ShardMessageKind::Invalid / a serve "malformed" error).
+enum class WireError : uint8_t {
+  None = 0,
+  Oversized,  ///< a line exceeded the frame cap and was discarded
+  Truncated,  ///< the stream ended mid-line (partial frame at EOF)
+};
+
+/// Stable lowercase name ("none", "oversized", "truncated").
+const char *wireErrorName(WireError E);
+
+/// Incremental newline framer with an oversized-line cap.
+///
+/// Feed raw bytes as they arrive from read(); pull complete frames with
+/// next(). A line longer than the cap is discarded byte-for-byte (the
+/// framer never buffers more than the cap) and surfaces as exactly one
+/// Frame::Oversized marker in sequence order, so a hostile or corrupted
+/// peer can neither exhaust memory nor silently lose its framing: the
+/// reader sees a typed error where the line would have been. At EOF,
+/// finish() reports a partial trailing frame as Truncated.
+class LineFramer {
+public:
+  enum class Frame : uint8_t {
+    None,      ///< no complete frame buffered; feed more bytes
+    Line,      ///< a complete line (without its newline) was produced
+    Oversized, ///< an over-cap line was discarded at this position
+  };
+
+  explicit LineFramer(size_t MaxLineBytes = DefaultMaxLineBytes);
+
+  /// Absorb \p Len raw bytes from the stream.
+  void feed(const char *Data, size_t Len);
+
+  /// Pop the next frame. On Frame::Line, \p Line holds the payload; on
+  /// Oversized/None it is cleared.
+  Frame next(std::string &Line);
+
+  /// Classify the stream tail after EOF: Oversized if EOF landed inside
+  /// a discarded over-cap line, Truncated if a partial ordinary line
+  /// remains unterminated, None for a clean boundary.
+  WireError finish() const;
+
+  /// Total over-cap lines discarded so far.
+  uint64_t oversizedLines() const { return OversizedCount; }
+
+  static constexpr size_t DefaultMaxLineBytes = 1u << 20;
+
+private:
+  struct Pending {
+    bool Oversized = false;
+    std::string Text;
+  };
+
+  size_t MaxLine;
+  std::string Partial;       ///< bytes of the current unterminated line
+  bool Dropping = false;     ///< inside an over-cap line, discarding
+  uint64_t OversizedCount = 0;
+  std::deque<Pending> Ready;
+};
 
 /// Message classification for one protocol line.
 enum class ShardMessageKind : uint8_t { Heartbeat, Result, Invalid };

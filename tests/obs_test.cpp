@@ -18,6 +18,8 @@
 #include <limits>
 #include <sstream>
 
+#include <unistd.h>
+
 namespace genprove {
 namespace {
 
@@ -402,6 +404,89 @@ TEST_F(ObsTest, SplicedRecordsKeepTheirShardAndTimestamp) {
   EXPECT_EQ(Records[1].Shard, 2);
   EXPECT_EQ(Records[1].TsUs, 12345u); // worker's own clock, not re-stamped
   EXPECT_EQ(Records[1].Event, "propagate.rollback");
+}
+
+TEST_F(ObsTest, CapacityRingEvictsOldestAndCountsDrops) {
+  setLogEnabled(true);
+  EventLog &Log = EventLog::global();
+  Log.setCapacity(4);
+  for (int I = 0; I < 10; ++I)
+    Log.emit(LogLevel::Info, "ring.tick", {{"i", int64_t(I)}});
+  const std::vector<LogRecord> Records = Log.records();
+  ASSERT_EQ(Records.size(), 4u);
+  EXPECT_EQ(Log.droppedRecords(), 6u);
+  // The survivors are the newest four, in order.
+  for (size_t I = 0; I < Records.size(); ++I) {
+    ASSERT_EQ(Records[I].Fields.size(), 1u);
+    EXPECT_EQ(Records[I].Fields[0].second.I, int64_t(6 + I));
+  }
+  // Shrinking below the live count evicts immediately.
+  Log.setCapacity(2);
+  EXPECT_EQ(Log.records().size(), 2u);
+  EXPECT_EQ(Log.droppedRecords(), 8u);
+  Log.setCapacity(0); // the global's default; don't leak a bound
+}
+
+TEST_F(ObsTest, AppendFlushEmitsEachRecordExactlyOnce) {
+  setLogEnabled(true);
+  EventLog &Log = EventLog::global();
+  Log.setCapacity(3);
+  const std::string Path =
+      "/tmp/genprove-obs-append-" + std::to_string(::getpid()) + ".jsonl";
+
+  auto CountLines = [&Path]() {
+    std::ifstream In(Path);
+    size_t N = 0;
+    std::string Line;
+    while (std::getline(In, Line))
+      if (!Line.empty())
+        ++N;
+    return N;
+  };
+
+  // First flush truncates and writes everything buffered so far.
+  Log.emit(LogLevel::Info, "append.a");
+  Log.emit(LogLevel::Info, "append.b");
+  ASSERT_TRUE(Log.appendJsonl(Path));
+  EXPECT_EQ(CountLines(), 2u);
+
+  // Re-flushing with nothing new is idempotent: no duplicate lines.
+  ASSERT_TRUE(Log.appendJsonl(Path));
+  EXPECT_EQ(CountLines(), 2u);
+
+  // New records append incrementally — even ones the capacity ring has
+  // already evicted from memory by flush time stay in the file exactly
+  // once, because the cursor tracks sequence numbers, not buffer slots.
+  for (int I = 0; I < 5; ++I)
+    Log.emit(LogLevel::Info, "append.more", {{"i", int64_t(I)}});
+  ASSERT_TRUE(Log.appendJsonl(Path));
+  // Of the 5 new records only the last 3 survived the ring; the flushed
+  // file gains exactly those 3 (the evicted 2 were never written and are
+  // counted in droppedRecords()).
+  EXPECT_EQ(CountLines(), 5u);
+  EXPECT_GE(Log.droppedRecords(), 2u);
+
+  // writeJsonl (the one-shot whole-buffer path) stays untouched by the
+  // append cursor: a fresh full write sees the current window.
+  ASSERT_TRUE(Log.appendJsonl(Path));
+  EXPECT_EQ(CountLines(), 5u); // still idempotent after the burst
+
+  // A new path restarts the cursor with truncation semantics.
+  const std::string Path2 = Path + ".second";
+  ASSERT_TRUE(Log.appendJsonl(Path2));
+  {
+    std::ifstream In(Path2);
+    size_t N = 0;
+    std::string Line;
+    while (std::getline(In, Line))
+      if (!Line.empty())
+        ++N;
+    EXPECT_EQ(N, 3u); // exactly the live window
+  }
+
+  Log.setCapacity(0);
+  std::remove(Path.c_str());
+  std::remove(Path2.c_str());
 }
 
 TEST_F(ObsTest, FlushGuardWritesEveryConfiguredArtifact) {

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -232,6 +233,75 @@ TEST(ShardProtocol, ResultCarriesTelemetrySections) {
 // Scheduler: retry timing, rung escalation, exhaustion — on a fake clock,
 // so every assertion is exact (satellite: deterministic scheduling tests).
 // ---------------------------------------------------------------------------
+
+TEST(ShardWire, FramerReassemblesLinesSplitAcrossFeeds) {
+  LineFramer F(64);
+  std::string Line;
+  // A line arriving one byte at a time still comes out as a single frame.
+  const std::string Msg = "{\"type\":\"ping\"}";
+  for (char C : Msg) {
+    F.feed(&C, 1);
+    EXPECT_EQ(F.next(Line), LineFramer::Frame::None);
+  }
+  F.feed("\n", 1);
+  ASSERT_EQ(F.next(Line), LineFramer::Frame::Line);
+  EXPECT_EQ(Line, Msg);
+  // Multiple lines in one read() are popped in order.
+  const std::string Two = "alpha\nbeta\n";
+  F.feed(Two.data(), Two.size());
+  ASSERT_EQ(F.next(Line), LineFramer::Frame::Line);
+  EXPECT_EQ(Line, "alpha");
+  ASSERT_EQ(F.next(Line), LineFramer::Frame::Line);
+  EXPECT_EQ(Line, "beta");
+  EXPECT_EQ(F.next(Line), LineFramer::Frame::None);
+  EXPECT_EQ(F.finish(), WireError::None);
+}
+
+TEST(ShardWire, OversizedLineIsDiscardedWithATypedMarkerInOrder) {
+  LineFramer F(8);
+  std::string Line;
+  // ok, over-cap (streamed in chunks), ok — exactly one Oversized marker
+  // appears between the two good frames, and the framer never buffers
+  // more than the cap.
+  F.feed("good\n", 5);
+  const std::string Huge(1000, 'x');
+  for (size_t I = 0; I < Huge.size(); I += 100)
+    F.feed(Huge.data() + I, std::min<size_t>(100, Huge.size() - I));
+  F.feed("\nalso\n", 6);
+  ASSERT_EQ(F.next(Line), LineFramer::Frame::Line);
+  EXPECT_EQ(Line, "good");
+  EXPECT_EQ(F.next(Line), LineFramer::Frame::Oversized);
+  ASSERT_EQ(F.next(Line), LineFramer::Frame::Line);
+  EXPECT_EQ(Line, "also");
+  EXPECT_EQ(F.oversizedLines(), 1u);
+  EXPECT_EQ(F.finish(), WireError::None);
+}
+
+TEST(ShardWire, EofClassifiesTheStreamTail) {
+  // Clean boundary.
+  {
+    LineFramer F(64);
+    F.feed("done\n", 5);
+    EXPECT_EQ(F.finish(), WireError::None);
+  }
+  // Mid-line disconnect: a partial ordinary frame is Truncated, and the
+  // partial bytes are never surfaced as a complete line.
+  {
+    LineFramer F(64);
+    std::string Line;
+    F.feed("{\"type\":\"veri", 13);
+    EXPECT_EQ(F.next(Line), LineFramer::Frame::None);
+    EXPECT_EQ(F.finish(), WireError::Truncated);
+  }
+  // EOF inside a discarded over-cap line classifies as Oversized.
+  {
+    LineFramer F(4);
+    std::string Line;
+    F.feed("toolongtail", 11);
+    EXPECT_EQ(F.next(Line), LineFramer::Frame::Oversized);
+    EXPECT_EQ(F.finish(), WireError::Oversized);
+  }
+}
 
 ShardPolicy testPolicy(int64_t NumShards, int64_t MaxRetries) {
   ShardPolicy P;

@@ -219,35 +219,11 @@ Shape parseShape(const std::string &Text) {
 }
 
 OutputSpec parseSpec(const std::string &Text) {
-  std::istringstream In(Text);
-  std::string Kind;
-  std::getline(In, Kind, ':');
-  if (Kind == "argmax") {
-    std::string T, N;
-    std::getline(In, T, ':');
-    std::getline(In, N, ':');
-    return OutputSpec::argmaxWins(std::stoll(T), std::stoll(N));
-  }
-  if (Kind == "sign") {
-    std::string I, S, N;
-    std::getline(In, I, ':');
-    std::getline(In, S, ':');
-    std::getline(In, N, ':');
-    return OutputSpec::attributeSign(std::stoll(I), S == "+", std::stoll(N));
-  }
-  if (Kind == "halfspace") {
-    std::string C, Coeffs;
-    std::getline(In, C, ':');
-    std::getline(In, Coeffs);
-    std::vector<double> G;
-    std::istringstream Gs(Coeffs);
-    std::string Part;
-    while (std::getline(Gs, Part, ','))
-      G.push_back(std::stod(Part));
-    Tensor Normal({1, static_cast<int64_t>(G.size())}, std::move(G));
-    return OutputSpec::halfspace(std::move(Normal), std::stod(C));
-  }
-  usage("unknown spec kind (use argmax / sign / halfspace)");
+  OutputSpec Spec;
+  std::string Err;
+  if (!parseOutputSpecText(Text, Spec, &Err))
+    usage(("--spec " + Text + ": " + Err).c_str());
+  return Spec;
 }
 
 /// The --report table: one row per layer, plus a sum/max footer matching
