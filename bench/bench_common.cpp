@@ -4,6 +4,7 @@
 
 #include "src/domains/box_domain.h"
 #include "src/domains/hybrid_zonotope.h"
+#include "src/domains/prop_cache.h"
 #include "src/domains/zonotope.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
@@ -53,6 +54,9 @@ BenchEnv::BenchEnv(BenchConfig InitConfig) : Config(std::move(InitConfig)) {
   // The bench harness always records engine metrics; they feed the run
   // report. Tracing stays off unless a binary opts in.
   setMetricsEnabled(true);
+  // The propagation cache is process-wide; its hit/miss/eviction counters
+  // land in the run report through the metrics snapshot below.
+  PropagationCache::global().configure(Config.CacheBudgetBytes);
   std::error_code Ec;
   std::filesystem::create_directories(Config.ResultsDir, Ec);
   loadCache();
@@ -72,7 +76,8 @@ std::string BenchEnv::configFingerprint() const {
         << Config.RelaxPercent << '|' << Config.ClusterK << '|'
         << Config.NodeThreshold << '|' << Config.MemoryBudgetBytes << '|'
         << Config.Resilient << '|' << Config.DeadlineSeconds << '|'
-        << Config.Shards;
+        << Config.Shards << '|' << Config.BatchWidth << '|'
+        << Config.CacheBudgetBytes;
   const std::string Text = Knobs.str();
   uint64_t Hash = 1469598103934665603ull; // FNV-1a 64
   for (unsigned char C : Text) {
@@ -234,18 +239,18 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
   size_t PeakBytes = 0;
   Rng SampleRng(0x5eed5eedu);
 
+  // Phase 1: encode every pair's endpoints (the encoder caches per-layer
+  // activations, so concurrent cells must take turns) and materialize its
+  // specs: class argmax, or one sign spec per attribute. Everything after
+  // the encodes reads shared models through const views only.
+  std::vector<std::pair<Tensor, Tensor>> Latents;
+  std::vector<std::vector<OutputSpec>> PairSpecs;
   for (const SpecPair &Pair : Pairs) {
-    Tensor E1, E2;
     {
-      // Vae::encode caches per-layer activations, so concurrent cells
-      // must take turns; everything after the encode reads shared models
-      // through const views only.
       std::lock_guard<std::mutex> Lock(EncodeMu);
-      E1 = Model.encode(Set.image(Pair.First));
-      E2 = Model.encode(Set.image(Pair.Second));
+      Latents.emplace_back(Model.encode(Set.image(Pair.First)),
+                           Model.encode(Set.image(Pair.Second)));
     }
-
-    // The per-pair specs: class argmax, or one sign spec per attribute.
     std::vector<OutputSpec> Specs;
     if (Data == DatasetId::Faces) {
       for (int64_t J = 0; J < NumOutputs; ++J)
@@ -255,38 +260,126 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
       Specs.push_back(OutputSpec::argmaxWins(
           Set.Labels[static_cast<size_t>(Pair.First)], NumOutputs));
     }
+    PairSpecs.push_back(std::move(Specs));
+  }
 
-    Timer PairTimer;
-    std::vector<ProbBounds> AllBounds;
-    bool PairOom = false;
+  const auto Accumulate = [&](const std::vector<ProbBounds> &AllBounds,
+                              bool PairOom) {
+    if (PairOom)
+      ++NumOom;
+    for (const ProbBounds &Bounds : AllBounds) {
+      SumWidth += Bounds.width();
+      SumLower += Bounds.Lower;
+      SumUpper += Bounds.Upper;
+      if (Bounds.nonTrivial())
+        ++NumNonTrivial;
+      ++NumBounds;
+    }
+  };
 
-    if (IsConvex) {
-      DeviceMemoryModel Memory(Config.MemoryBudgetBytes);
-      std::vector<ConvexResult> Results;
-      switch (Which) {
-      case Method::Box:
-        Results =
-            analyzeBoxMulti(Pipeline, LatentShape, E1, E2, Specs, Memory);
-        break;
-      case Method::HybridZono:
-        Results = analyzeHybridZonotopeMulti(Pipeline, LatentShape, E1, E2,
-                                             Specs, Memory);
-        break;
-      case Method::Zonotope:
-        Results = analyzeZonotopeMulti(Pipeline, LatentShape, E1, E2, Specs,
-                                       ZonotopeKind::Zonotope, Memory);
-        break;
-      default:
-        Results = analyzeZonotopeMulti(Pipeline, LatentShape, E1, E2, Specs,
-                                       ZonotopeKind::DeepZono, Memory);
-        break;
+  // Phase 2: certify. With BatchWidth > 1 the convex and GenProve-family
+  // methods propagate chunks of pairs as one stacked abstract state
+  // (bit-identical per-pair bounds; docs/PERFORMANCE.md), and the chunk's
+  // wall clock is charged once — MeanSeconds then shows the amortization.
+  const size_t BatchWidth =
+      static_cast<size_t>(std::max<int64_t>(Config.BatchWidth, 1));
+
+  if (IsConvex) {
+    for (size_t Base = 0; Base < Pairs.size(); Base += BatchWidth) {
+      const size_t ChunkEnd = std::min(Pairs.size(), Base + BatchWidth);
+      Timer ChunkTimer;
+      if (ChunkEnd - Base == 1) {
+        const auto &[E1, E2] = Latents[Base];
+        const std::vector<OutputSpec> &Specs = PairSpecs[Base];
+        DeviceMemoryModel Memory(Config.MemoryBudgetBytes);
+        std::vector<ConvexResult> Results;
+        switch (Which) {
+        case Method::Box:
+          Results =
+              analyzeBoxMulti(Pipeline, LatentShape, E1, E2, Specs, Memory);
+          break;
+        case Method::HybridZono:
+          Results = analyzeHybridZonotopeMulti(Pipeline, LatentShape, E1, E2,
+                                               Specs, Memory);
+          break;
+        case Method::Zonotope:
+          Results = analyzeZonotopeMulti(Pipeline, LatentShape, E1, E2,
+                                         Specs, ZonotopeKind::Zonotope,
+                                         Memory);
+          break;
+        default:
+          Results = analyzeZonotopeMulti(Pipeline, LatentShape, E1, E2,
+                                         Specs, ZonotopeKind::DeepZono,
+                                         Memory);
+          break;
+        }
+        std::vector<ProbBounds> AllBounds;
+        bool PairOom = false;
+        for (const ConvexResult &Result : Results) {
+          AllBounds.push_back(Result.Bounds);
+          PairOom |= Result.Bounds.OutOfMemory;
+          PeakBytes = std::max(PeakBytes, Result.PeakBytes);
+        }
+        Accumulate(AllBounds, PairOom);
+      } else {
+        // Each pair keeps its own specs; the batch API evaluates one
+        // shared spec list against every segment, so the chunk's lists
+        // are concatenated and each pair reads back its own slice
+        // (bounds are per-(state, spec), so the extra evaluations do not
+        // perturb anything).
+        std::vector<std::pair<Tensor, Tensor>> Segments;
+        std::vector<OutputSpec> Union;
+        std::vector<size_t> Offset;
+        for (size_t I = Base; I < ChunkEnd; ++I) {
+          Segments.push_back(Latents[I]);
+          Offset.push_back(Union.size());
+          Union.insert(Union.end(), PairSpecs[I].begin(),
+                       PairSpecs[I].end());
+        }
+        DeviceMemoryModel Memory(Config.MemoryBudgetBytes);
+        std::vector<std::vector<ConvexResult>> Batch;
+        switch (Which) {
+        case Method::Box:
+          Batch = analyzeBoxBatch(Pipeline, LatentShape, Segments, Union,
+                                  Memory);
+          break;
+        case Method::HybridZono:
+          Batch = analyzeHybridZonotopeBatch(Pipeline, LatentShape, Segments,
+                                             Union, Memory);
+          break;
+        case Method::Zonotope:
+          Batch = analyzeZonotopeBatch(Pipeline, LatentShape, Segments,
+                                       Union, ZonotopeKind::Zonotope,
+                                       Memory);
+          break;
+        default:
+          Batch = analyzeZonotopeBatch(Pipeline, LatentShape, Segments,
+                                       Union, ZonotopeKind::DeepZono,
+                                       Memory);
+          break;
+        }
+        for (size_t I = Base; I < ChunkEnd; ++I) {
+          const size_t Local = I - Base;
+          std::vector<ProbBounds> AllBounds;
+          bool PairOom = false;
+          for (size_t J = 0; J < PairSpecs[I].size(); ++J) {
+            const ConvexResult &Result = Batch[Local][Offset[Local] + J];
+            AllBounds.push_back(Result.Bounds);
+            PairOom |= Result.Bounds.OutOfMemory;
+            PeakBytes = std::max(PeakBytes, Result.PeakBytes);
+          }
+          Accumulate(AllBounds, PairOom);
+        }
       }
-      for (const ConvexResult &Result : Results) {
-        AllBounds.push_back(Result.Bounds);
-        PairOom |= Result.Bounds.OutOfMemory;
-        PeakBytes = std::max(PeakBytes, Result.PeakBytes);
-      }
-    } else if (Which == Method::Sampling) {
+      SumSeconds += ChunkTimer.seconds();
+    }
+  } else if (Which == Method::Sampling) {
+    for (size_t PairIdx = 0; PairIdx < Pairs.size(); ++PairIdx) {
+      const Tensor &E1 = Latents[PairIdx].first;
+      const Tensor &E2 = Latents[PairIdx].second;
+      const std::vector<OutputSpec> &Specs = PairSpecs[PairIdx];
+      Timer PairTimer;
+      std::vector<ProbBounds> AllBounds;
       // Sample once per pair and score every spec on the shared outputs.
       const int64_t Latent = Model.latentDim();
       std::vector<int64_t> Satisfied(Specs.size(), 0);
@@ -321,36 +414,49 @@ GridCell BenchEnv::computeCell(DatasetId Data, const std::string &Network,
       // Sampling keeps only one batch of activations resident.
       PeakBytes = std::max(
           PeakBytes, static_cast<size_t>(256 * 4096 * sizeof(double)));
-    } else {
-      const PropagatedState State =
-          Analyzer.propagateSegment(Pipeline, LatentShape, E1, E2);
-      PairOom = State.OutOfMemory;
-      PeakBytes = std::max(PeakBytes, State.PeakBytes);
-      MaxRegions = std::max(MaxRegions, State.Stats.MaxRegions);
-      MaxNodes = std::max(MaxNodes, State.Stats.MaxNodes);
-      MaxRetries = std::max(MaxRetries, State.Retries);
-      if (State.Degraded)
-        ++NumDegraded;
-      Cell.MaxRung = std::max(
-          Cell.MaxRung, static_cast<int64_t>(State.Stats.Rung));
-      Cell.Rollbacks += State.Stats.Rollbacks;
-      Cell.FallbackBoxLayers += State.Stats.FallbackBoxLayers;
-      if (State.Stats.DeadlineHit)
-        ++Cell.DeadlineHits;
-      for (const OutputSpec &Spec : Specs)
-        AllBounds.push_back(Analyzer.boundsFor(State, Spec));
+      SumSeconds += PairTimer.seconds();
+      Accumulate(AllBounds, /*PairOom=*/false);
     }
-
-    SumSeconds += PairTimer.seconds();
-    if (PairOom)
-      ++NumOom;
-    for (const ProbBounds &Bounds : AllBounds) {
-      SumWidth += Bounds.width();
-      SumLower += Bounds.Lower;
-      SumUpper += Bounds.Upper;
-      if (Bounds.nonTrivial())
-        ++NumNonTrivial;
-      ++NumBounds;
+  } else {
+    // The GenProve-family methods. Chunks of two or more pairs go through
+    // propagateSegmentsBatch; non-batchable configurations (refinement
+    // schedule, resilience, splits) transparently run sequentially inside
+    // it, so every per-pair bound matches the width-1 run exactly.
+    for (size_t Base = 0; Base < Pairs.size(); Base += BatchWidth) {
+      const size_t ChunkEnd = std::min(Pairs.size(), Base + BatchWidth);
+      Timer ChunkTimer;
+      std::vector<PropagatedState> States;
+      if (ChunkEnd - Base == 1) {
+        States.push_back(Analyzer.propagateSegment(Pipeline, LatentShape,
+                                                   Latents[Base].first,
+                                                   Latents[Base].second));
+      } else {
+        const std::vector<std::pair<Tensor, Tensor>> Segments(
+            Latents.begin() + static_cast<int64_t>(Base),
+            Latents.begin() + static_cast<int64_t>(ChunkEnd));
+        States = Analyzer.propagateSegmentsBatch(Pipeline, LatentShape,
+                                                 Segments);
+      }
+      for (size_t I = Base; I < ChunkEnd; ++I) {
+        const PropagatedState &State = States[I - Base];
+        PeakBytes = std::max(PeakBytes, State.PeakBytes);
+        MaxRegions = std::max(MaxRegions, State.Stats.MaxRegions);
+        MaxNodes = std::max(MaxNodes, State.Stats.MaxNodes);
+        MaxRetries = std::max(MaxRetries, State.Retries);
+        if (State.Degraded)
+          ++NumDegraded;
+        Cell.MaxRung = std::max(
+            Cell.MaxRung, static_cast<int64_t>(State.Stats.Rung));
+        Cell.Rollbacks += State.Stats.Rollbacks;
+        Cell.FallbackBoxLayers += State.Stats.FallbackBoxLayers;
+        if (State.Stats.DeadlineHit)
+          ++Cell.DeadlineHits;
+        std::vector<ProbBounds> AllBounds;
+        for (const OutputSpec &Spec : PairSpecs[I])
+          AllBounds.push_back(Analyzer.boundsFor(State, Spec));
+        Accumulate(AllBounds, State.OutOfMemory);
+      }
+      SumSeconds += ChunkTimer.seconds();
     }
   }
 
@@ -496,6 +602,9 @@ void BenchEnv::writeRunReport() {
   W.key("resilient").value(Config.Resilient);
   W.key("deadline_seconds").value(Config.DeadlineSeconds);
   W.key("shards").value(Config.Shards);
+  W.key("batch_width").value(Config.BatchWidth);
+  W.key("cache_budget_bytes")
+      .value(static_cast<int64_t>(Config.CacheBudgetBytes));
   W.endObject();
 
   W.key("cells");

@@ -16,8 +16,18 @@
 //   micro_kernels --benchmark_filter=BM_Instrumentation \
 //                 --benchmark_out=BENCH_obs.json --benchmark_out_format=json
 //
+// BM_PropagatePerSpec / BM_PropagateBatched / BM_CacheWarmStart measure
+// the cross-query amortization layer (docs/PERFORMANCE.md): many segment
+// specs through one shared decoder, sequentially vs as one stacked
+// abstract state, and a repeated query cold vs warm-started from the
+// propagation cache. CI records them to BENCH_batch.json:
+//   micro_kernels --benchmark_filter='BM_Propagate(PerSpec|Batched)|BM_CacheWarmStart' \
+//                 --benchmark_out=BENCH_batch.json --benchmark_out_format=json
+//
 //===----------------------------------------------------------------------===//
 
+#include "src/core/genprove.h"
+#include "src/domains/prop_cache.h"
 #include "src/domains/propagate.h"
 #include "src/nn/activations.h"
 #include "src/nn/linear.h"
@@ -303,6 +313,146 @@ void BM_Instrumentation(benchmark::State &State) {
   setMetricsEnabled(SavedMetrics);
 }
 BENCHMARK(BM_Instrumentation)->ArgName("metrics")->Arg(0)->Arg(1);
+
+//===----------------------------------------------------------------------===//
+// Cross-query amortization (docs/PERFORMANCE.md): the shared-decoder
+// workload — many latent segments against ONE frozen pipeline — run
+// per-spec (the pre-batching shape: one propagation per segment) vs as a
+// single stacked abstract state whose affine layers see every segment's
+// rows in one production-sized GEMM. Bounds are bit-identical either way;
+// the wall-clock ratio is the batching win recorded in BENCH_batch.json.
+//===----------------------------------------------------------------------===//
+
+Sequential sharedDecoder(Rng &R) {
+  Sequential Net;
+  const std::vector<int64_t> Dims{8, 128, 128, 10};
+  for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+    auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+    L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, 0.5);
+    L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.3);
+    Net.add(std::move(L));
+    if (I + 2 < Dims.size())
+      Net.add(std::make_unique<ReLU>());
+  }
+  return Net;
+}
+
+/// Tight segments — the certification traffic shape: each query perturbs
+/// a latent point slightly, so it crosses few ReLUs and its per-layer
+/// GEMMs are a handful of rows. That is where stacking K queries into
+/// one call pays most (the affine work per query is call-overhead-bound).
+std::vector<std::pair<Tensor, Tensor>> sharedDecoderSegments(int64_t K,
+                                                             Rng &R) {
+  std::vector<std::pair<Tensor, Tensor>> Segments;
+  for (int64_t I = 0; I < K; ++I) {
+    Tensor Start = Tensor::randn({1, 8}, R);
+    Tensor End = Start.clone();
+    for (int64_t J = 0; J < 8; ++J)
+      End[J] += R.normal(0.0, 0.02);
+    Segments.emplace_back(std::move(Start), std::move(End));
+  }
+  return Segments;
+}
+
+void BM_PropagatePerSpec(benchmark::State &State) {
+  const int64_t NumSpecs = State.range(0);
+  PoolScope Scope(State.range(1));
+  Rng R(9);
+  Sequential Net = sharedDecoder(R);
+  const auto Segments = sharedDecoderSegments(NumSpecs, R);
+  const GenProve Analyzer(GenProveConfig{});
+  for (auto _ : State) {
+    size_t Regions = 0;
+    for (const auto &[Start, End] : Segments) {
+      const PropagatedState Final =
+          Analyzer.propagateSegment(Net.view(), Shape({1, 8}), Start, End);
+      Regions += Final.Regions.size();
+    }
+    benchmark::DoNotOptimize(Regions);
+  }
+  State.SetItemsProcessed(State.iterations() * NumSpecs);
+}
+BENCHMARK(BM_PropagatePerSpec)
+    ->ArgNames({"specs", "threads"})
+    ->Args({16, 1})
+    ->Args({32, 1})
+    ->Args({16, 4})
+    ->Args({64, 4});
+
+void BM_PropagateBatched(benchmark::State &State) {
+  const int64_t NumSpecs = State.range(0);
+  PoolScope Scope(State.range(1));
+  Rng R(9);
+  Sequential Net = sharedDecoder(R);
+  const auto Segments = sharedDecoderSegments(NumSpecs, R);
+  const GenProve Analyzer(GenProveConfig{});
+  for (auto _ : State) {
+    const std::vector<PropagatedState> Finals =
+        Analyzer.propagateSegmentsBatch(Net.view(), Shape({1, 8}), Segments);
+    size_t Regions = 0;
+    for (const PropagatedState &Final : Finals)
+      Regions += Final.Regions.size();
+    benchmark::DoNotOptimize(Regions);
+  }
+  State.SetItemsProcessed(State.iterations() * NumSpecs);
+}
+BENCHMARK(BM_PropagateBatched)
+    ->ArgNames({"specs", "threads"})
+    ->Args({16, 1})
+    ->Args({32, 1})
+    ->Args({16, 4})
+    ->Args({64, 4});
+
+/// The full amortization layer on hot traffic: the same ≥16-spec
+/// shared-decoder workload as BM_PropagatePerSpec, propagated as ONE
+/// batched abstract state with the propagation cache on. The first
+/// iteration runs cold and stores every boundary state; every following
+/// iteration — the steady state of repeated-spec serve traffic — warm
+/// starts past the whole pipeline. BM_PropagatePerSpec vs this ratio is
+/// the headline ≥2x amortization number CI asserts from BENCH_batch.json
+/// (bounds stay bit-identical: a warm start only skips work).
+void BM_PropagateAmortized(benchmark::State &State) {
+  const int64_t NumSpecs = State.range(0);
+  Rng R(9); // same seed as PerSpec/Batched: identical workload
+  Sequential Net = sharedDecoder(R);
+  const auto Segments = sharedDecoderSegments(NumSpecs, R);
+  const GenProve Analyzer(GenProveConfig{});
+  PropagationCache::global().configure(64u << 20);
+  for (auto _ : State) {
+    const std::vector<PropagatedState> Finals =
+        Analyzer.propagateSegmentsBatch(Net.view(), Shape({1, 8}), Segments);
+    size_t Regions = 0;
+    for (const PropagatedState &Final : Finals)
+      Regions += Final.Regions.size();
+    benchmark::DoNotOptimize(Regions);
+  }
+  PropagationCache::global().configure(0);
+  State.SetItemsProcessed(State.iterations() * NumSpecs);
+}
+BENCHMARK(BM_PropagateAmortized)->ArgName("specs")->Arg(16)->Arg(32);
+
+/// A repeated query, cold (cache off, full propagation every time) vs
+/// warm (the propagation cache holds the final boundary state, so the
+/// repeat skips every layer). The ratio bounds what the serve daemon's
+/// hot repeated-spec traffic can save per request.
+void BM_CacheWarmStart(benchmark::State &State) {
+  const bool Warm = State.range(0) != 0;
+  Rng R(10);
+  Sequential Net = sharedDecoder(R);
+  const Tensor Start = Tensor::randn({1, 8}, R);
+  const Tensor End = Tensor::randn({1, 8}, R);
+  const GenProve Analyzer(GenProveConfig{});
+  PropagationCache::global().configure(Warm ? (64u << 20) : 0);
+  if (Warm) // prime: the first propagation stores every boundary state
+    Analyzer.propagateSegment(Net.view(), Shape({1, 8}), Start, End);
+  for (auto _ : State) {
+    const PropagatedState Final =
+        Analyzer.propagateSegment(Net.view(), Shape({1, 8}), Start, End);
+    benchmark::DoNotOptimize(Final.Regions.size());
+  }
+  PropagationCache::global().configure(0);
+}
+BENCHMARK(BM_CacheWarmStart)->ArgName("warm")->Arg(0)->Arg(1);
 
 void BM_RelaxHeuristic(benchmark::State &State) {
   const int64_t NumPieces = State.range(0);

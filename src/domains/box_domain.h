@@ -28,6 +28,17 @@ analyzeBoxMulti(const std::vector<const Layer *> &Layers,
                 const Tensor &End, const std::vector<OutputSpec> &Specs,
                 DeviceMemoryModel &Memory);
 
+/// Batched analysis: all segments' boxes flow through one Query-tagged
+/// propagateRegions() call (see analyzeZonotopeBatch for the memory and
+/// bit-identity contract; on joint OOM the batch falls back to sequential
+/// per-segment analyses). Result[i][j] is segment i against Specs[j].
+std::vector<std::vector<ConvexResult>>
+analyzeBoxBatch(const std::vector<const Layer *> &Layers,
+                const Shape &InputShape,
+                const std::vector<std::pair<Tensor, Tensor>> &Segments,
+                const std::vector<OutputSpec> &Specs,
+                DeviceMemoryModel &Memory);
+
 } // namespace genprove
 
 #endif // GENPROVE_DOMAINS_BOX_DOMAIN_H

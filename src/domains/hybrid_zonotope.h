@@ -29,6 +29,15 @@ std::vector<ConvexResult> analyzeHybridZonotopeMulti(
     const Tensor &Start, const Tensor &End,
     const std::vector<OutputSpec> &Specs, DeviceMemoryModel &Memory);
 
+/// Batched analysis over many segments (see analyzeZonotopeBatch for the
+/// memory and bit-identity contract; on joint OOM the batch falls back to
+/// sequential per-segment analyses). Result[i][j] is segment i against
+/// Specs[j].
+std::vector<std::vector<ConvexResult>> analyzeHybridZonotopeBatch(
+    const std::vector<const Layer *> &Layers, const Shape &InputShape,
+    const std::vector<std::pair<Tensor, Tensor>> &Segments,
+    const std::vector<OutputSpec> &Specs, DeviceMemoryModel &Memory);
+
 /// Per-dimension interval hull of the final hybrid state, rounded outward
 /// (see zonotopeOutputBounds). Used by the soundness audit (src/audit).
 ZonotopeOutputBounds

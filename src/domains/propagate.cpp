@@ -3,10 +3,12 @@
 #include "src/domains/propagate.h"
 
 #include "src/domains/fault_injection.h"
+#include "src/domains/prop_cache.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/parallel/thread_pool.h"
+#include "src/util/hash.h"
 #include "src/util/timer.h"
 
 #include <algorithm>
@@ -219,6 +221,7 @@ void reluCurve(const Region &Curve, const PropagateConfig &Config,
     const double Tm = 0.5 * (T0 + T1);
     Region Piece;
     Piece.Kind = RegionKind::Curve;
+    Piece.Query = Curve.Query;
     Piece.T0 = T0;
     Piece.T1 = T1;
     Piece.Weight = evalCdf(Config.Cdf, T1) - evalCdf(Config.Cdf, T0);
@@ -253,6 +256,18 @@ void liftToFullBox(std::vector<Region> &Regions) {
 
 } // namespace
 
+uint64_t cacheSaltForConfig(const PropagateConfig &Config,
+                            uint64_t CallerTag) {
+  uint64_t H = hashing::hashU64(hashing::FnvOffset, CallerTag);
+  H = hashing::hashDouble(H, Config.Relax.RelaxPercent);
+  H = hashing::hashDouble(H, Config.Relax.ClusterK);
+  H = hashing::hashU64(H, static_cast<uint64_t>(Config.Relax.NodeThreshold));
+  H = hashing::hashU64(H, Config.EnableRelax ? 1 : 0);
+  H = hashing::hashDouble(H, Config.SplitEps);
+  H = hashing::hashU64(H, soundRoundingEnabled() ? 1 : 0);
+  return H;
+}
+
 std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
                                      const Shape &InputShape,
                                      std::vector<Region> Regions,
@@ -278,6 +293,8 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
       MetricsRegistry::global().counter("propagate.quarantined");
   static Histogram &LayerSecondsHist =
       MetricsRegistry::global().histogram("propagate.layer_seconds");
+  static Counter &CacheWarmCtr =
+      MetricsRegistry::global().counter("cache.warm_layers");
 
   const ResilienceConfig &Res = Config.Resilience;
   const bool Resilient = Res.Enabled;
@@ -292,7 +309,9 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
   const int64_t Fallback0 = Stats.FallbackBoxLayers;
   const int64_t Quarantined0 = Stats.QuarantinedRegions;
   const bool DeadlineHit0 = Stats.DeadlineHit;
+  const int64_t CacheWarm0 = Stats.CacheWarmLayers;
   const auto FlushCounters = [&] {
+    CacheWarmCtr.add(Stats.CacheWarmLayers - CacheWarm0);
     SplitsCtr.add(Stats.NumSplits - Splits0);
     BoxedCtr.add(Stats.NumBoxed - Boxed0);
     OomCtr.add(Stats.OutOfMemory ? 1 : 0);
@@ -364,9 +383,85 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
     liftToFullBox(Regions);
     Degrade(DegradeRung::FullBox);
   }
-  {
+
+  // Propagation-cache warm start. Only non-resilient, fault-free runs
+  // are eligible: a resilient run's intermediate states depend on the
+  // memory budget (rollbacks, local boxing), not just the inputs, so
+  // they are not a pure function of the key chain.
+  const bool CacheActive = Config.Cache && !Resilient && !Res.Faults &&
+                           Config.Cache->enabled();
+  std::vector<uint64_t> Chain;
+  size_t WarmDepth = 0;
+  size_t RunPeakBytes = 0; // peak device charge of the layers run so far
+  if (CacheActive) {
+    Chain = PropagationCache::chainKeys(Config.CacheSalt, InputShape,
+                                        Regions, Layers);
+    std::vector<Region> WarmState;
+    Shape WarmShape;
+    size_t WarmPeak = 0;
+    WarmDepth =
+        Config.Cache->lookupDeepest(Chain, WarmState, WarmShape, WarmPeak);
+    if (WarmDepth > 0) {
+      // Replay the skipped prefix's peak device charge as one charge: the
+      // peak of the cold run's monotone charge sequence is its maximum,
+      // so budget exhaustion (and the peak gauge) behaves exactly as a
+      // cold run's would.
+      if (!Memory.charge(WarmPeak)) {
+        Stats.OutOfMemory = true;
+        FlushCounters();
+        return {};
+      }
+      Regions = std::move(WarmState);
+      CurShape = WarmShape;
+      RunPeakBytes = WarmPeak;
+      Stats.CacheWarmLayers += static_cast<int64_t>(WarmDepth);
+    }
+  }
+
+  // Per-query memoization for batched runs: when a cold input state
+  // carries several Query tags, each query's slice of the final boundary
+  // is bit-identical to a solo propagation of that query (the batching
+  // contract), so it is also stored under the query's own solo key chain
+  // — with a per-query peak tracked from the per-boundary node counts,
+  // which by the same contract equals the solo run's charge sequence
+  // exactly (OOM fidelity is preserved, not approximated). Repeated
+  // queries then warm-start solo even when they arrive inside
+  // differently-composed batches. Warm-started joint runs skip this: the
+  // per-query peaks of the skipped prefix are not observable.
+  struct QueryMemo {
+    int32_t Tag = 0;
+    uint64_t FinalKey = 0;
+    size_t PeakBytes = 0;
+  };
+  std::vector<QueryMemo> QueryMemos;
+  if (CacheActive && WarmDepth == 0) {
+    std::vector<int32_t> Tags;
+    for (const Region &R : Regions)
+      if (std::find(Tags.begin(), Tags.end(), R.Query) == Tags.end())
+        Tags.push_back(R.Query);
+    if (Tags.size() > 1) {
+      for (const int32_t Tag : Tags) {
+        std::vector<Region> Group;
+        for (const Region &R : Regions)
+          if (R.Query == Tag) {
+            Group.push_back(R);
+            Group.back().Query = 0; // solo runs carry the default tag
+          }
+        QueryMemo M;
+        M.Tag = Tag;
+        M.FinalKey = PropagationCache::chainKeys(Config.CacheSalt,
+                                                 InputShape, Group, Layers)
+                         .back();
+        M.PeakBytes = stateBytes(totalNodes(Group), InputShape.numel());
+        QueryMemos.push_back(M);
+      }
+    }
+  }
+
+  if (WarmDepth == 0) {
     const int64_t Nodes = totalNodes(Regions);
     const int64_t Dim = Regions.empty() ? 0 : Regions.front().dim();
+    RunPeakBytes = stateBytes(Nodes, Dim);
     if (!Resilient) {
       if (!Memory.chargeState(Nodes, Dim)) {
         Stats.OutOfMemory = true;
@@ -393,7 +488,7 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
     }
   }
 
-  for (size_t Li = 0; Li < Layers.size(); ++Li) {
+  for (size_t Li = WarmDepth; Li < Layers.size(); ++Li) {
     const Layer *L = Layers[Li];
     // Refresh the liveness digest unconditionally (one relaxed store —
     // cheaper than branching on a flag) so the worker heartbeat thread
@@ -571,6 +666,35 @@ std::vector<Region> propagateRegions(const std::vector<const Layer *> &Layers,
           Stats.OomLayer = static_cast<int64_t>(Li);
           FlushCounters();
           return {};
+        }
+        if (CacheActive) {
+          // CacheActive implies a non-resilient, fault-free run, so every
+          // committed state is clean (no rung fired, nothing quarantined)
+          // and safe to memoize.
+          RunPeakBytes = std::max(RunPeakBytes, Rec.ChargedBytes);
+          Config.Cache->store(Chain[Li + 1], Regions, CurShape,
+                              RunPeakBytes);
+          if (!QueryMemos.empty()) {
+            const int64_t Dim = CurShape.numel();
+            for (QueryMemo &M : QueryMemos) {
+              int64_t QueryNodes = 0;
+              for (const Region &R : Regions)
+                if (R.Query == M.Tag)
+                  QueryNodes += R.nodes();
+              M.PeakBytes = std::max(M.PeakBytes, stateBytes(QueryNodes, Dim));
+            }
+            if (Li + 1 == Layers.size()) {
+              for (const QueryMemo &M : QueryMemos) {
+                std::vector<Region> Split;
+                for (const Region &R : Regions)
+                  if (R.Query == M.Tag) {
+                    Split.push_back(R);
+                    Split.back().Query = 0;
+                  }
+                Config.Cache->store(M.FinalKey, Split, CurShape, M.PeakBytes);
+              }
+            }
+          }
         }
         break;
       }

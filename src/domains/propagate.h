@@ -46,6 +46,7 @@
 namespace genprove {
 
 class FaultInjector;
+class PropagationCache;
 
 /// Cumulative distribution function of the input parameter on [0, 1].
 using ParamCdf = std::function<double(double)>;
@@ -98,7 +99,23 @@ struct PropagateConfig {
   ParamCdf Cdf;             ///< empty = uniform (identity CDF).
   double SplitEps = 1e-9;   ///< minimum gap between split points.
   ResilienceConfig Resilience;
+  /// Optional memoizing abstract-state cache (domains/prop_cache.h). Only
+  /// consulted on non-resilient, fault-free runs — a warm start replays
+  /// the prefix's peak device charge and is bit-identical to a cold run.
+  PropagationCache *Cache = nullptr;
+  /// Caller-provided salt folded into the cache key chain. Must separate
+  /// every knob the transformers depend on that PropagateConfig itself
+  /// cannot hash (the input-distribution identity behind Cdf, the
+  /// caller's domain tag, ...); see cacheSaltForConfig().
+  uint64_t CacheSalt = 0;
 };
+
+/// Fold the hashable engine knobs (relaxation config, SplitEps, sound
+/// rounding mode) into a cache salt, together with \p CallerTag — the
+/// caller's hash of everything the engine cannot see: the identity of the
+/// input distribution behind Cdf and the abstract-domain tag.
+uint64_t cacheSaltForConfig(const PropagateConfig &Config,
+                            uint64_t CallerTag);
 
 /// Display name of a layer kind for telemetry ("Linear", "ReLU", ...).
 const char *layerKindName(Layer::Kind K);
@@ -153,6 +170,10 @@ struct PropagateStats {
   /// must widen the upper bound by this mass (the quarantined image could
   /// lie anywhere).
   double QuarantinedMass = 0.0;
+  /// Layers skipped by a propagation-cache warm start. Skipped layers
+  /// produce no LayerRecord and contribute no splits — the bounds are
+  /// still bit-identical to a cold run's.
+  int64_t CacheWarmLayers = 0;
   std::vector<LayerRecord> Layers;
 };
 

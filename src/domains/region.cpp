@@ -133,7 +133,9 @@ Region boundingBox(const Region &R) {
     const Interval Range = curveComponentRange(R, J);
     Range.toCenterRadius(Center[J], Radius[J]);
   }
-  return makeBoxRegion(Center, Radius, R.Weight);
+  Region Box = makeBoxRegion(Center, Radius, R.Weight);
+  Box.Query = R.Query;
+  return Box;
 }
 
 Region mergeBoxes(const Region &A, const Region &B) {
@@ -161,7 +163,10 @@ Region mergeBoxes(const Region &A, const Region &B) {
   }
   const double Weight = Sound ? fp::addUp(A.Weight, B.Weight)
                               : A.Weight + B.Weight;
-  return makeBoxRegion(Center, Radius, Weight);
+  Region Box = makeBoxRegion(Center, Radius, Weight);
+  // Callers only merge regions of the same query; keep the tag.
+  Box.Query = A.Query;
+  return Box;
 }
 
 double curveChordLength(const Region &Curve) {

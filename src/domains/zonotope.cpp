@@ -68,57 +68,104 @@ Tensor absColumnSums(const Tensor &Gens) {
   return Sums;
 }
 
-/// One affine layer on the state. The center/generator kernels are the
-/// unchanged round-to-nearest paths; in sound mode the slack additionally
-/// absorbs a rigorous bound on all of their rounding errors.
-void applyAffineToState(const Layer *L, const Shape &CurShape,
-                        ZonoState &St) {
+/// One affine layer on any number of per-query states at once. All
+/// centers, all generator rows, and (in sound mode) all magnitude/slack
+/// rows are stacked into single production-sized kernel calls; every
+/// kernel is row-independent (fixed ascending-k accumulation per output
+/// element, fp-contract off), so each state's rows come out bit-identical
+/// to a one-state call. The center/generator kernels are the unchanged
+/// round-to-nearest paths; in sound mode the slack additionally absorbs a
+/// rigorous bound on all of their rounding errors.
+void applyAffineToStates(const Layer *L, const Shape &CurShape,
+                         std::vector<ZonoState> &States) {
   const bool Sound = soundRoundingEnabled();
-  if (!Sound) {
-    St.Center = flattenRows(L->applyAffine(reshapeRows(St.Center, CurShape)));
-    St.Gens = flattenRows(L->applyLinear(reshapeRows(St.Gens, CurShape)));
-    St.Slack = Tensor({1, St.Center.numel()}); // identically zero in RN mode
-    return;
-  }
+  const int64_t K = static_cast<int64_t>(States.size());
+  const int64_t N = States.front().Center.numel();
 
-  // Magnitude bound on any represented (or concretely forwarded) point:
-  // |x| <= |c| + sum_g |g| + slack.
-  const int64_t N = St.Center.numel();
-  Tensor Mag = absColumnSums(St.Gens);
-  for (int64_t J = 0; J < N; ++J)
-    Mag[J] = fp::addUp(Mag[J],
-                       fp::addUp(std::fabs(St.Center[J]), St.Slack[J]));
+  Tensor Centers({K, N});
+  for (int64_t I = 0; I < K; ++I)
+    std::copy(States[I].Center.data(), States[I].Center.data() + N,
+              Centers.data() + I * N);
 
-  // One box application on a zero center yields the bias image and
-  // |A| * Mag; a second one propagates the slack itself through |A|.
-  Tensor BiasImage({1, N});
+  int64_t SumG = 0;
+  for (const ZonoState &St : States)
+    SumG += St.Gens.dim(0);
+  Tensor AllGens({SumG, N});
   {
-    Tensor BiasActs = reshapeRows(BiasImage, CurShape);
-    Tensor MagActs = reshapeRows(Mag, CurShape);
-    L->applyToBox(BiasActs, MagActs);
-    BiasImage = flattenRows(BiasActs);
-    Mag = flattenRows(MagActs);
-  }
-  {
-    Tensor SlackCenter = St.Center.clone();
-    Tensor CenterActs = reshapeRows(SlackCenter, CurShape);
-    Tensor SlackActs = reshapeRows(St.Slack, CurShape);
-    L->applyToBox(CenterActs, SlackActs);
-    St.Slack = flattenRows(SlackActs);
+    int64_t Row = 0;
+    for (const ZonoState &St : States) {
+      std::copy(St.Gens.data(), St.Gens.data() + St.Gens.numel(),
+                AllGens.data() + Row * N);
+      Row += St.Gens.dim(0);
+    }
   }
 
-  St.Center = flattenRows(L->applyAffine(reshapeRows(St.Center, CurShape)));
-  St.Gens = flattenRows(L->applyLinear(reshapeRows(St.Gens, CurShape)));
+  Tensor Mags, BiasImages, Slacks;
+  if (Sound) {
+    // Magnitude bound on any represented (or concretely forwarded) point:
+    // |x| <= |c| + sum_g |g| + slack, per state.
+    Mags = Tensor({K, N});
+    Slacks = Tensor({K, N});
+    for (int64_t I = 0; I < K; ++I) {
+      const ZonoState &St = States[I];
+      Tensor Mag = absColumnSums(St.Gens);
+      for (int64_t J = 0; J < N; ++J)
+        Mags.at(I, J) = fp::addUp(
+            Mag[J], fp::addUp(std::fabs(St.Center[J]), St.Slack[J]));
+      std::copy(St.Slack.data(), St.Slack.data() + N, Slacks.data() + I * N);
+    }
+
+    // One box application on zero centers yields the bias images and
+    // |A| * Mag; a second one propagates the slacks themselves through
+    // |A|.
+    BiasImages = Tensor({K, N});
+    {
+      Tensor BiasActs = reshapeRows(BiasImages, CurShape);
+      Tensor MagActs = reshapeRows(Mags, CurShape);
+      L->applyToBox(BiasActs, MagActs);
+      BiasImages = flattenRows(BiasActs);
+      Mags = flattenRows(MagActs);
+    }
+    {
+      Tensor SlackCenters = Centers.clone();
+      Tensor CenterActs = reshapeRows(SlackCenters, CurShape);
+      Tensor SlackActs = reshapeRows(Slacks, CurShape);
+      L->applyToBox(CenterActs, SlackActs);
+      Slacks = flattenRows(SlackActs);
+    }
+  }
+
+  Centers = flattenRows(L->applyAffine(reshapeRows(Centers, CurShape)));
+  AllGens = flattenRows(L->applyLinear(reshapeRows(AllGens, CurShape)));
 
   // gamma * (|A| Mag + |b|) bounds, with a wide margin, the sum of the
   // rounding errors of the center map, every generator row, the slack
   // propagation and a concrete forward pass of a represented point.
-  const double Gamma = fp::accumulationBound(L->accumulationDepth());
-  const int64_t OutN = St.Slack.numel();
-  for (int64_t J = 0; J < OutN; ++J)
-    St.Slack[J] = fp::addUp(
-        St.Slack[J],
-        fp::mulUp(Gamma, fp::addUp(Mag[J], std::fabs(BiasImage[J]))));
+  const double Gamma =
+      Sound ? fp::accumulationBound(L->accumulationDepth()) : 0.0;
+  const int64_t OutN = Centers.dim(1);
+  int64_t Row = 0;
+  for (int64_t I = 0; I < K; ++I) {
+    ZonoState &St = States[I];
+    const int64_t G = St.Gens.dim(0);
+    Tensor NewCenter({1, OutN});
+    std::copy(Centers.data() + I * OutN, Centers.data() + (I + 1) * OutN,
+              NewCenter.data());
+    Tensor NewGens({G, OutN});
+    std::copy(AllGens.data() + Row * OutN, AllGens.data() + (Row + G) * OutN,
+              NewGens.data());
+    Row += G;
+    Tensor NewSlack({1, OutN}); // identically zero in RN mode
+    if (Sound)
+      for (int64_t J = 0; J < OutN; ++J)
+        NewSlack[J] = fp::addUp(
+            Slacks.at(I, J),
+            fp::mulUp(Gamma, fp::addUp(Mags.at(I, J),
+                                       std::fabs(BiasImages.at(I, J)))));
+    St.Center = std::move(NewCenter);
+    St.Gens = std::move(NewGens);
+    St.Slack = std::move(NewSlack);
+  }
 }
 
 /// ReLU transformer on the state (both kinds). In sound mode the
@@ -195,18 +242,27 @@ void applyReluToState(ZonotopeKind Kind, ZonoState &St) {
   }
 }
 
-/// Propagate the segment through the pipeline. Returns false on OOM.
+/// Propagate many segments through the pipeline as one joint state.
+/// Returns false on OOM; the per-layer device charge is the sum of every
+/// state's charge, since the joint state is resident at once.
 /// Peak/generator telemetry accumulates into Result.
-bool propagateZonotope(const std::vector<const Layer *> &Layers,
-                       const Shape &InputShape, const Tensor &Start,
-                       const Tensor &End, ZonotopeKind Kind,
-                       DeviceMemoryModel &Memory, ZonoState &St,
-                       ConvexResult &Result) {
-  St = initState(Start, End);
+bool propagateZonotopeBatch(
+    const std::vector<const Layer *> &Layers, const Shape &InputShape,
+    const std::vector<std::pair<Tensor, Tensor>> &Segments, ZonotopeKind Kind,
+    DeviceMemoryModel &Memory, std::vector<ZonoState> &States,
+    ConvexResult &Result) {
+  States.clear();
+  States.reserve(Segments.size());
+  for (const auto &Seg : Segments)
+    States.push_back(initState(Seg.first, Seg.second));
   Shape CurShape = InputShape;
   auto Charge = [&]() {
-    Result.MaxGenerators = std::max(Result.MaxGenerators, St.Gens.dim(0));
-    const bool Ok = Memory.chargeState(St.Gens.dim(0) + 1, CurShape.numel());
+    int64_t Rows = 0;
+    for (const ZonoState &St : States) {
+      Result.MaxGenerators = std::max(Result.MaxGenerators, St.Gens.dim(0));
+      Rows += St.Gens.dim(0) + 1;
+    }
+    const bool Ok = Memory.chargeState(Rows, CurShape.numel());
     Result.PeakBytes = Memory.peakBytes();
     return Ok;
   };
@@ -214,14 +270,32 @@ bool propagateZonotope(const std::vector<const Layer *> &Layers,
     return false;
   for (const Layer *L : Layers) {
     if (L->isAffine()) {
-      applyAffineToState(L, CurShape, St);
+      applyAffineToStates(L, CurShape, States);
       CurShape = L->outputShape(CurShape);
     } else {
-      applyReluToState(Kind, St);
+      for (ZonoState &St : States)
+        applyReluToState(Kind, St);
     }
     if (!Charge())
       return false;
   }
+  return true;
+}
+
+/// Propagate one segment (the batch-of-one special case; identical
+/// charges, identical kernel calls). Returns false on OOM.
+bool propagateZonotope(const std::vector<const Layer *> &Layers,
+                       const Shape &InputShape, const Tensor &Start,
+                       const Tensor &End, ZonotopeKind Kind,
+                       DeviceMemoryModel &Memory, ZonoState &St,
+                       ConvexResult &Result) {
+  std::vector<std::pair<Tensor, Tensor>> Segments;
+  Segments.emplace_back(Start, End);
+  std::vector<ZonoState> States;
+  if (!propagateZonotopeBatch(Layers, InputShape, Segments, Kind, Memory,
+                              States, Result))
+    return false;
+  St = std::move(States.front());
   return true;
 }
 
@@ -302,6 +376,39 @@ analyzeZonotopeMulti(const std::vector<const Layer *> &Layers,
     Results.push_back(std::move(PerSpec));
   }
   return Results;
+}
+
+std::vector<std::vector<ConvexResult>>
+analyzeZonotopeBatch(const std::vector<const Layer *> &Layers,
+                     const Shape &InputShape,
+                     const std::vector<std::pair<Tensor, Tensor>> &Segments,
+                     const std::vector<OutputSpec> &Specs, ZonotopeKind Kind,
+                     DeviceMemoryModel &Memory) {
+  const size_t K = Segments.size();
+  std::vector<std::vector<ConvexResult>> Out(K);
+  if (K == 0)
+    return Out;
+  ConvexResult Joint;
+  std::vector<ZonoState> States;
+  if (!propagateZonotopeBatch(Layers, InputShape, Segments, Kind, Memory,
+                              States, Joint)) {
+    // The joint state blew the budget: fall back to sequential
+    // per-segment analyses, which see exactly what a caller-side loop
+    // would (each segment charges the device on its own).
+    for (size_t I = 0; I < K; ++I)
+      Out[I] = analyzeZonotopeMulti(Layers, InputShape, Segments[I].first,
+                                    Segments[I].second, Specs, Kind, Memory);
+    return Out;
+  }
+  for (size_t I = 0; I < K; ++I) {
+    Out[I].reserve(Specs.size());
+    for (const OutputSpec &Spec : Specs) {
+      ConvexResult PerSpec = Joint;
+      PerSpec.Bounds = liftedBounds(States[I], Spec);
+      Out[I].push_back(std::move(PerSpec));
+    }
+  }
+  return Out;
 }
 
 ConvexResult analyzeZonotope(const std::vector<const Layer *> &Layers,

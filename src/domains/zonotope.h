@@ -30,6 +30,8 @@
 #include "src/domains/memory_model.h"
 #include "src/nn/sequential.h"
 
+#include <utility>
+
 namespace genprove {
 
 /// Which ReLU transformer the zonotope analysis uses.
@@ -57,6 +59,27 @@ analyzeZonotopeMulti(const std::vector<const Layer *> &Layers,
                      const Shape &InputShape, const Tensor &Start,
                      const Tensor &End, const std::vector<OutputSpec> &Specs,
                      ZonotopeKind Kind, DeviceMemoryModel &Memory);
+
+/// Batched analysis: propagate many segments through the same pipeline at
+/// once, stacking every query's center and generator rows into single
+/// production-sized kernel calls, and evaluate every spec on each final
+/// zonotope. Because all affine kernels are row-independent (fixed
+/// ascending-k accumulation per output element, fp-contract off) and the
+/// ReLU transformer runs per state, the returned bounds are bit-identical
+/// to analyzeZonotopeMulti() run per segment, in both rounding modes.
+///
+/// The per-layer device charge is the sum of all states' charges (the
+/// joint state is resident at once); when that blows the budget, the
+/// whole batch falls back to sequential per-segment analyses, so bounds
+/// always match a caller-side loop. Returned telemetry (PeakBytes,
+/// MaxGenerators) on the batched path describes the shared run.
+/// Result[i][j] is segment i against Specs[j].
+std::vector<std::vector<ConvexResult>>
+analyzeZonotopeBatch(const std::vector<const Layer *> &Layers,
+                     const Shape &InputShape,
+                     const std::vector<std::pair<Tensor, Tensor>> &Segments,
+                     const std::vector<OutputSpec> &Specs, ZonotopeKind Kind,
+                     DeviceMemoryModel &Memory);
 
 /// Per-dimension interval hull of the final zonotope, rounded outward.
 /// Used by the soundness audit (src/audit) to check containment of

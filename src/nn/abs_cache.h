@@ -25,10 +25,12 @@
 #define GENPROVE_NN_ABS_CACHE_H
 
 #include "src/tensor/tensor.h"
+#include "src/util/hash.h"
 
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <initializer_list>
 #include <mutex>
 
 namespace genprove {
@@ -37,6 +39,15 @@ class AbsWeightCache {
 public:
   /// Mark the cached |W| stale; cheap, called from parameter accessors.
   void invalidate() { Version.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Explicit generation counter: advances on every invalidate(), so any
+  /// derived artifact (the memoized |W|, a parameter fingerprint, a
+  /// propagation-cache key) can detect that the weights were mutated
+  /// since it was built. Never 0 — derived caches can use 0 as "never
+  /// built".
+  uint64_t generation() const {
+    return Version.load(std::memory_order_acquire);
+  }
 
   /// |W| for the given weight tensor, rebuilt only when stale. The
   /// reference stays valid until the next invalidate()+get() pair.
@@ -56,11 +67,39 @@ public:
     return Abs;
   }
 
+  /// Memoized FNV-1a fingerprint over the bit patterns of the given
+  /// parameter tensors, seeded with \p Seed (the layer's structural
+  /// hash). Rebuilt only when the generation has advanced — the same
+  /// staleness contract as get(), so a weight mutation through any
+  /// mutable accessor is guaranteed to change the fingerprint the
+  /// propagation cache keys on.
+  uint64_t paramFingerprint(uint64_t Seed,
+                            std::initializer_list<const Tensor *> Ts) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    const uint64_t V = Version.load(std::memory_order_acquire);
+    if (FpVersion != V || FpSeed != Seed) {
+      uint64_t H = hashing::hashU64(hashing::FnvOffset, Seed);
+      for (const Tensor *T : Ts) {
+        H = hashing::hashU64(H, static_cast<uint64_t>(T->numel()));
+        H = hashing::hashBytes(H, T->data(),
+                               static_cast<size_t>(T->numel()) *
+                                   sizeof(double));
+      }
+      Fp = H;
+      FpVersion = V;
+      FpSeed = Seed;
+    }
+    return Fp;
+  }
+
 private:
   std::atomic<uint64_t> Version{1};
   mutable std::mutex Mu;
   mutable Tensor Abs;
   mutable uint64_t BuiltVersion = 0;
+  mutable uint64_t Fp = 0;
+  mutable uint64_t FpVersion = 0;
+  mutable uint64_t FpSeed = 0;
 };
 
 } // namespace genprove

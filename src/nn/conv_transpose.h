@@ -29,6 +29,9 @@ public:
   std::vector<Param> params() override;
   Shape outputShape(const Shape &InputShape) const override;
   std::string describe() const override;
+  uint64_t fingerprint() const override {
+    return AbsCache.paramFingerprint(Layer::fingerprint(), {&Weight, &Bias});
+  }
 
   const ConvGeometry &geometry() const { return Geom; }
   // Mutable parameter access invalidates the memoized |W| (see

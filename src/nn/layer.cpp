@@ -3,10 +3,19 @@
 #include "src/nn/layer.h"
 
 #include "src/util/fp.h"
+#include "src/util/hash.h"
 
 #include <cmath>
 
 namespace genprove {
+
+uint64_t Layer::fingerprint() const {
+  // Parameterless layers (ReLU/Flatten/Reshape) are fully described by
+  // their kind and shape description.
+  uint64_t H = hashing::hashU64(hashing::FnvOffset,
+                                static_cast<uint64_t>(LayerKind));
+  return hashing::hashString(H, describe());
+}
 
 void Layer::applyToBoxSound(Tensor &Center, Tensor &Radius) const {
   const int64_t Depth = accumulationDepth();

@@ -102,6 +102,15 @@ public:
   /// Learnable parameters (empty for shape/activation layers).
   virtual std::vector<Param> params() { return {}; }
 
+  /// Stable fingerprint of the layer's transfer function: structure plus
+  /// the bit patterns of every learnable parameter. Two layers with equal
+  /// fingerprints produce bit-identical abstract transformers, which is
+  /// what the propagation cache keys on. Parameterless layers hash their
+  /// kind and description; parameterized layers memoize the hash against
+  /// their AbsWeightCache generation, so any weight mutation through a
+  /// mutable accessor is guaranteed to change the fingerprint.
+  virtual uint64_t fingerprint() const;
+
   /// Output activation shape (including batch dim) for a given input shape.
   virtual Shape outputShape(const Shape &InputShape) const = 0;
 

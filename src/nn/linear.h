@@ -22,6 +22,11 @@ public:
   std::vector<Param> params() override;
   Shape outputShape(const Shape &InputShape) const override;
   std::string describe() const override;
+  uint64_t fingerprint() const override {
+    // Structural seed from the base hash (kind + description), parameter
+    // bits memoized against the AbsWeightCache generation.
+    return AbsCache.paramFingerprint(Layer::fingerprint(), {&Weight, &Bias});
+  }
 
   int64_t inFeatures() const { return InFeatures; }
   int64_t outFeatures() const { return OutFeatures; }

@@ -190,18 +190,22 @@ std::string encodeServePong() {
   return W.str();
 }
 
-std::string encodeServeStats(int64_t InFlight, int64_t Queued, bool Draining,
-                             int64_t Requests, int64_t Shed,
-                             const std::string &Prometheus) {
+std::string encodeServeStats(const ServeStatsInfo &S) {
   JsonWriter W;
   W.beginObject();
   W.key("type").value("stats");
-  W.key("inflight").value(InFlight);
-  W.key("queued").value(Queued);
-  W.key("draining").value(Draining);
-  W.key("requests").value(Requests);
-  W.key("shed").value(Shed);
-  W.key("prometheus").value(Prometheus);
+  W.key("inflight").value(S.InFlight);
+  W.key("queued").value(S.Queued);
+  W.key("draining").value(S.Draining);
+  W.key("requests").value(S.Requests);
+  W.key("shed").value(S.Shed);
+  W.key("cache_hits").value(S.CacheHits);
+  W.key("cache_misses").value(S.CacheMisses);
+  W.key("cache_evictions").value(S.CacheEvictions);
+  W.key("cache_bytes").value(S.CacheBytes);
+  W.key("coalesce_batches").value(S.CoalesceBatches);
+  W.key("coalesce_requests").value(S.CoalesceRequests);
+  W.key("prometheus").value(S.Prometheus);
   W.endObject();
   return W.str();
 }

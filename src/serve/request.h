@@ -107,11 +107,29 @@ std::string encodeServeError(const std::string &Code,
 /// {"type":"pong"} line.
 std::string encodeServePong();
 
-/// {"type":"stats",...} line with live queue state and the Prometheus
-/// exposition of the daemon's metrics registry.
-std::string encodeServeStats(int64_t InFlight, int64_t Queued, bool Draining,
-                             int64_t Requests, int64_t Shed,
-                             const std::string &Prometheus);
+/// Live daemon state served on {"type":"stats"}.
+struct ServeStatsInfo {
+  int64_t InFlight = 0;
+  int64_t Queued = 0;
+  bool Draining = false;
+  int64_t Requests = 0;
+  int64_t Shed = 0;
+  /// Propagation-cache counters (domains/prop_cache.h); all zero when the
+  /// cache is not configured.
+  int64_t CacheHits = 0;
+  int64_t CacheMisses = 0;
+  int64_t CacheEvictions = 0;
+  int64_t CacheBytes = 0;
+  /// Request-coalescing counters; zero when --coalesce-window-ms is off.
+  int64_t CoalesceBatches = 0;
+  int64_t CoalesceRequests = 0;
+  std::string Prometheus;
+};
+
+/// {"type":"stats",...} line with live queue state, propagation-cache and
+/// coalescing counters, and the Prometheus exposition of the daemon's
+/// metrics registry.
+std::string encodeServeStats(const ServeStatsInfo &S);
 
 /// Everything an --isolate worker process needs to run one request's
 /// shard attempt: the server writes this to a per-request temp file and

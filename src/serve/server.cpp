@@ -2,6 +2,8 @@
 
 #include "src/serve/server.h"
 
+#include "src/core/genprove.h"
+#include "src/domains/prop_cache.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/snapshot.h"
@@ -18,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -75,6 +78,20 @@ void countResponse(const std::string &Status) {
   MetricsRegistry::global()
       .counter(labeledMetricName("serve.responses", "status", Status))
       .add(1);
+}
+
+/// Compatibility class of a verify request for coalescing: requests may
+/// share one batched propagation only when every knob the engine sees is
+/// identical (the admission budget too, since the leader acquires one
+/// ticket for the whole batch). Specs and determinism are per-member —
+/// bounds are evaluated per request on its own final state.
+std::string coalesceKeyFor(const ServeRequest &Req) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "|%s|%.17g|%.17g|%lld|%d|%lld",
+                Req.InputShape.c_str(), Req.RelaxPercent, Req.ClusterK,
+                static_cast<long long>(Req.NodeThreshold),
+                Req.Arcsine ? 1 : 0, static_cast<long long>(Req.BudgetMb));
+  return Req.Net + Buf;
 }
 
 /// Per-request worker spec file for --isolate (unlinked after the run).
@@ -177,6 +194,31 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
   if (!Req.Inject.empty() && !Cfg.AllowInject)
     return Reject("fault injection is disabled (server runs without "
                   "--allow-inject)");
+
+  //===------------------------------------------------------------------===//
+  // Coalescing: compatible requests arriving within the window share one
+  // batched propagation. A request the batch cannot answer (lone arrival,
+  // shed joint ticket, per-query abort) falls through to the supervised
+  // path below with nothing lost but the window wait.
+  //===------------------------------------------------------------------===//
+  if (Cfg.CoalesceWindowSeconds > 0.0 && Cfg.CoalesceMaxBatch > 1 &&
+      !Cfg.Isolate && Req.Inject.empty() && Req.DeadlineMs <= 0.0 &&
+      !stopping()) {
+    if (tryCoalesce(Req, Model, InShape, R)) {
+      countResponse(R.Status);
+      if (R.Status == "ok" || R.Status == "degraded") {
+        MetricsRegistry::global()
+            .counter(labeledMetricName("serve.rung", "rung",
+                                       shardRungName(R.Rung)))
+            .add(1);
+        RunSeconds.record(R.RunMs / 1000.0);
+      }
+      RequestSeconds.record(nowSeconds() - T0);
+      return R;
+    }
+    R = ServeResponse();
+    R.Id = Req.Id;
+  }
 
   //===------------------------------------------------------------------===//
   // Admission: a budget slice and a concurrency slot, or an explicit shed.
@@ -358,6 +400,181 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
   return R;
 }
 
+bool Server::tryCoalesce(const ServeRequest &Req,
+                         const RegisteredModel *Model, const Shape &InShape,
+                         ServeResponse &R) {
+  auto Job = std::make_shared<CoalesceJob>();
+  Job->Req = &Req;
+  const std::string Key = coalesceKeyFor(Req);
+
+  std::unique_lock<std::mutex> Lock(CoalesceMu);
+  std::shared_ptr<CoalesceBucket> Bucket;
+  bool Leader = false;
+  auto It = CoalesceOpen.find(Key);
+  if (It != CoalesceOpen.end() && !It->second->Closed &&
+      static_cast<int64_t>(It->second->Jobs.size()) < Cfg.CoalesceMaxBatch) {
+    Bucket = It->second;
+  } else {
+    Bucket = std::make_shared<CoalesceBucket>();
+    CoalesceOpen[Key] = Bucket;
+    Leader = true;
+  }
+  Bucket->Jobs.push_back(Job);
+
+  if (!Leader) {
+    // A full batch need not wait out the window; wake the leader early.
+    if (static_cast<int64_t>(Bucket->Jobs.size()) >= Cfg.CoalesceMaxBatch)
+      Bucket->Cv.notify_all();
+    // The leader always closes the bucket within window + run time, so
+    // this wait is bounded.
+    Bucket->Cv.wait(Lock, [&] { return Job->Done; });
+    R = Job->Resp;
+    return !Job->Declined;
+  }
+
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(Cfg.CoalesceWindowSeconds));
+  Bucket->Cv.wait_until(Lock, Deadline, [&] {
+    return static_cast<int64_t>(Bucket->Jobs.size()) >=
+               Cfg.CoalesceMaxBatch ||
+           stopping();
+  });
+  Bucket->Closed = true;
+  auto Cur = CoalesceOpen.find(Key);
+  if (Cur != CoalesceOpen.end() && Cur->second == Bucket)
+    CoalesceOpen.erase(Cur);
+  const std::vector<std::shared_ptr<CoalesceJob>> Jobs = Bucket->Jobs;
+  Lock.unlock();
+
+  runCoalescedBatch(Jobs, Model, InShape);
+
+  Lock.lock();
+  for (const auto &J : Jobs)
+    J->Done = true;
+  Bucket->Cv.notify_all();
+  R = Job->Resp;
+  return !Job->Declined;
+}
+
+void Server::runCoalescedBatch(
+    const std::vector<std::shared_ptr<CoalesceJob>> &Jobs,
+    const RegisteredModel *Model, const Shape &InShape) {
+  static Counter &Batches =
+      MetricsRegistry::global().counter("serve.coalesce.batches");
+  static Counter &BatchedRequests =
+      MetricsRegistry::global().counter("serve.coalesce.requests");
+  static Counter &DedupHits =
+      MetricsRegistry::global().counter("serve.coalesce.dedup_hits");
+  static Counter &Declines =
+      MetricsRegistry::global().counter("serve.coalesce.declined");
+
+  // A batch of one amortizes nothing: hand the request straight to the
+  // supervised path rather than pay an unsupervised propagation.
+  if (Jobs.size() < 2) {
+    for (const auto &J : Jobs)
+      J->Declined = true;
+    Declines.add(static_cast<int64_t>(Jobs.size()));
+    return;
+  }
+
+  const ServeRequest &Lead = *Jobs.front()->Req;
+  // One admission ticket covers the joint run; companions ride along
+  // without consuming concurrency slots.
+  AdmissionTicket Ticket =
+      Admission.acquire(static_cast<size_t>(Lead.BudgetMb) << 20, 0.0);
+  if (!Ticket.admitted()) {
+    // Shed joint ticket: let every member queue (and possibly shed) on
+    // its own through the normal path, which owns that protocol.
+    for (const auto &J : Jobs)
+      J->Declined = true;
+    Declines.add(static_cast<int64_t>(Jobs.size()));
+    return;
+  }
+
+  // Dedupe identical (start, end) pairs: repeated segments — the repeat
+  // traffic the propagation cache also targets — propagate once and fan
+  // their state out to every requester.
+  const int64_t Latent = static_cast<int64_t>(Lead.Start.size());
+  std::vector<std::pair<Tensor, Tensor>> Segments;
+  std::map<std::pair<std::vector<double>, std::vector<double>>, size_t>
+      SegIndex;
+  std::vector<size_t> JobSeg(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const ServeRequest &Rq = *Jobs[I]->Req;
+    auto SegKey = std::make_pair(Rq.Start, Rq.End);
+    auto Found = SegIndex.find(SegKey);
+    if (Found != SegIndex.end()) {
+      JobSeg[I] = Found->second;
+      DedupHits.add(1);
+      continue;
+    }
+    JobSeg[I] = Segments.size();
+    SegIndex.emplace(std::move(SegKey), Segments.size());
+    Segments.emplace_back(Tensor({1, Latent}, Rq.Start),
+                          Tensor({1, Latent}, Rq.End));
+  }
+
+  GenProveConfig Conf;
+  Conf.RelaxPercent = Lead.RelaxPercent;
+  Conf.ClusterK = Lead.ClusterK;
+  Conf.NodeThreshold = Lead.NodeThreshold;
+  Conf.Distribution =
+      Lead.Arcsine ? ParamDistribution::Arcsine : ParamDistribution::Uniform;
+  Conf.MemoryBudgetBytes = Ticket.budgetBytes();
+  // No resilience: batching needs the abort-on-OOM engine (a resilient
+  // run's degradations could couple queries). An aborted or degraded
+  // member is declined back to the supervised path below.
+
+  const double RunStart = nowSeconds();
+  const GenProve Prover(Conf);
+  const std::vector<PropagatedState> States =
+      Prover.propagateSegmentsBatch(Model->Pipeline, InShape, Segments);
+  const double RunDone = nowSeconds();
+  Batches.add(1);
+
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    CoalesceJob &J = *Jobs[I];
+    const ServeRequest &Rq = *J.Req;
+    const PropagatedState &St = States[JobSeg[I]];
+    if (St.OutOfMemory) {
+      J.Declined = true;
+      Declines.add(1);
+      continue;
+    }
+    BatchedRequests.add(1);
+    ServeResponse &Resp = J.Resp;
+    Resp.Id = Rq.Id;
+    Resp.Rung = ShardRung::Configured;
+    Resp.QueueMs = Ticket.queueSeconds() * 1000.0;
+    Resp.RunMs = (RunDone - RunStart) * 1000.0;
+    for (const std::string &Text : Rq.Specs) {
+      OutputSpec Spec;
+      parseOutputSpecText(Text, Spec, nullptr); // validated at decode
+      ProbBounds Bounds = Prover.boundsFor(St, Spec);
+      Bounds.Degraded = Bounds.Degraded || St.Degraded;
+      if (Rq.Deterministic)
+        Bounds = Bounds.deterministic();
+      ServeSpecBounds B;
+      B.Lower = Bounds.Lower;
+      B.Upper = Bounds.Upper;
+      B.Degraded = Bounds.Degraded;
+      B.Verdict = verdictFor(Bounds, Rq.Deterministic);
+      Resp.Specs.push_back(std::move(B));
+    }
+    Resp.Status = St.Degraded ? "degraded" : "ok";
+  }
+  Ticket.release();
+
+  if (logEnabled())
+    EventLog::global().emit(
+        LogLevel::Info, "serve.coalesce",
+        {{"requests", static_cast<int64_t>(Jobs.size())},
+         {"segments", static_cast<int64_t>(Segments.size())},
+         {"run_ms", (RunDone - RunStart) * 1000.0}});
+}
+
 bool Server::handleLine(int Fd, const std::string &Line) {
   ServeRequest Req;
   std::string Code, Detail;
@@ -370,12 +587,22 @@ bool Server::handleLine(int Fd, const std::string &Line) {
     return writeLine(Fd, encodeServePong());
   case ServeRequest::Kind::Stats: {
     MetricsRegistry &Reg = MetricsRegistry::global();
-    return writeLine(
-        Fd, encodeServeStats(Admission.inFlight(), Admission.queued(),
-                             Admission.draining(),
-                             Reg.counter("serve.requests").value(),
-                             Reg.counter("serve.shed").value(),
-                             Reg.toPrometheus()));
+    const PropagationCache::Snapshot Cache =
+        PropagationCache::global().snapshot();
+    ServeStatsInfo S;
+    S.InFlight = Admission.inFlight();
+    S.Queued = Admission.queued();
+    S.Draining = Admission.draining();
+    S.Requests = Reg.counter("serve.requests").value();
+    S.Shed = Reg.counter("serve.shed").value();
+    S.CacheHits = Cache.Hits;
+    S.CacheMisses = Cache.Misses;
+    S.CacheEvictions = Cache.Evictions;
+    S.CacheBytes = static_cast<int64_t>(Cache.Bytes);
+    S.CoalesceBatches = Reg.counter("serve.coalesce.batches").value();
+    S.CoalesceRequests = Reg.counter("serve.coalesce.requests").value();
+    S.Prometheus = Reg.toPrometheus();
+    return writeLine(Fd, encodeServeStats(S));
   }
   case ServeRequest::Kind::Verify:
     return writeLine(Fd, encodeServeResponse(runVerify(Req)));

@@ -1,0 +1,52 @@
+//===- util/hash.h - FNV-1a fingerprint helpers ----------------*- C++ -*-===//
+///
+/// \file
+/// Small 64-bit FNV-1a combinators used for configuration and state
+/// fingerprints (the propagation cache's key chain, layer parameter
+/// fingerprints). Doubles hash by bit pattern, so two states hash equal
+/// exactly when they are bit-identical — the same equivalence the
+/// determinism contract guarantees for recomputation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENPROVE_UTIL_HASH_H
+#define GENPROVE_UTIL_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace genprove {
+namespace hashing {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+inline uint64_t hashBytes(uint64_t H, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+inline uint64_t hashU64(uint64_t H, uint64_t V) {
+  return hashBytes(H, &V, sizeof(V));
+}
+
+inline uint64_t hashDouble(uint64_t H, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return hashU64(H, Bits);
+}
+
+inline uint64_t hashString(uint64_t H, const std::string &S) {
+  H = hashU64(H, S.size());
+  return hashBytes(H, S.data(), S.size());
+}
+
+} // namespace hashing
+} // namespace genprove
+
+#endif // GENPROVE_UTIL_HASH_H

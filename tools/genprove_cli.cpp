@@ -6,8 +6,10 @@
 //   genprove_cli --net decoder.bin [--net classifier.bin ...]
 //                --input-shape 1x8
 //                --start start.txt --end end.txt
+//                [--start s2.txt --end e2.txt ...]  (batched propagation)
 //                --spec argmax:0:10 | sign:3:+:40 | halfspace:0.5:-1
 //                [--spec ... more endpoints, bounded concurrently]
+//                [--cache-mb N]
 //                [--p 0.02] [--k 100] [--threshold 250]
 //                [--budget-mb 240] [--deterministic] [--arcsine]
 //                [--splits N] [--schedule A|B] [--threads N]
@@ -43,6 +45,7 @@
 
 #include "src/core/genprove.h"
 #include "src/domains/fault_injection.h"
+#include "src/domains/prop_cache.h"
 #include "src/nn/serialize.h"
 #include "src/util/fp.h"
 #include "src/obs/log.h"
@@ -81,11 +84,13 @@ namespace {
       stderr,
       "usage: genprove_cli --net NET.bin [--net NET2.bin ...]\n"
       "                    --input-shape 1x8 --start A.txt --end B.txt\n"
+      "                    [--start A2.txt --end B2.txt ...]\n"
       "                    --spec argmax:T:N | sign:I:+|-:N | "
       "halfspace:C:g0,g1,...\n"
-      "                    [--spec ...]  (repeatable; the segment is\n"
+      "                    [--spec ...]  (repeatable; each segment is\n"
       "                    propagated once, each endpoint is bounded\n"
       "                    against it concurrently)\n"
+      "                    [--cache-mb N]\n"
       "                    [--p P] [--k K] [--threshold T] [--budget-mb M]\n"
       "                    [--deterministic] [--arcsine] [--sound]\n"
       "                    [--splits N]\n"
@@ -107,6 +112,19 @@ namespace {
       "  --sound             directed (outward) rounding on every bound\n"
       "                      computation; floating-point-sound intervals at\n"
       "                      a sub-percent width cost (docs/SOUNDNESS.md)\n"
+      "\n"
+      "cross-query amortization (docs/PERFORMANCE.md):\n"
+      "  --start/--end ...   repeated pairs define several latent segments;\n"
+      "                      all of them flow through the network as ONE\n"
+      "                      batched abstract state (stacked GEMM rows) and\n"
+      "                      the results are split back per pair, bit-\n"
+      "                      identical to running each pair alone. Needs\n"
+      "                      the single-process path (no --shards).\n"
+      "  --cache-mb N        give the propagation cache an N MiB budget:\n"
+      "                      repeated or prefix-sharing queries warm-start\n"
+      "                      mid-network from memoized per-layer states\n"
+      "                      (LRU-evicted, charged against the simulated\n"
+      "                      device). 0 (default) disables the cache.\n"
       "\n"
       "resilience:\n"
       "  --resilient         never fail: on OOM roll back to the last layer\n"
@@ -397,7 +415,8 @@ private:
 int main(int Argc, char **Argv) {
   std::vector<std::string> NetPaths;
   std::vector<std::string> SpecTexts;
-  std::string StartPath, EndPath, ShapeText;
+  std::vector<std::string> StartPaths, EndPaths;
+  std::string ShapeText;
   std::string TraceOutPath, MetricsOutPath, LogOutPath, PromOutPath;
   std::string RunId;
   std::string ShardTelemetrySpec; ///< internal: coordinator -> worker
@@ -443,11 +462,16 @@ int main(int Argc, char **Argv) {
       ShapeText = Next();
       Forward({Arg, ShapeText});
     } else if (Arg == "--start") {
-      StartPath = Next();
-      Forward({Arg, StartPath});
+      StartPaths.push_back(Next());
+      Forward({Arg, StartPaths.back()});
     } else if (Arg == "--end") {
-      EndPath = Next();
-      Forward({Arg, EndPath});
+      EndPaths.push_back(Next());
+      Forward({Arg, EndPaths.back()});
+    } else if (Arg == "--cache-mb") {
+      // Coordinator/local-only: the cache is per-process, and the sharded
+      // paths are excluded from batching anyway.
+      PropagationCache::global().configure(
+          static_cast<size_t>(std::stoull(Next())) << 20);
     } else if (Arg == "--spec") {
       const std::string V = Next();
       SpecTexts.push_back(V);
@@ -562,9 +586,15 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (NetPaths.empty() || StartPath.empty() || EndPath.empty() ||
+  if (NetPaths.empty() || StartPaths.empty() || EndPaths.empty() ||
       ShapeText.empty() || SpecTexts.empty())
     usage("--net, --input-shape, --start, --end and --spec are required");
+  if (StartPaths.size() != EndPaths.size())
+    usage("--start and --end must come in pairs");
+  if (StartPaths.size() > 1 && Shards > 0)
+    usage("repeated --start/--end pairs (batched propagation) need the "
+          "single-process path; drop --shards or run one pair per "
+          "invocation");
   if (Shards > 0 && SplitsGiven)
     usage("--shards and --splits are mutually exclusive (a shard is an "
           "input split that runs in its own process)");
@@ -652,18 +682,24 @@ int main(int Argc, char **Argv) {
     Pipeline = concatViews(Pipeline, Net.view());
 
   const Shape InputShape = parseShape(ShapeText);
-  const Tensor Start = readVector(StartPath);
-  const Tensor End = readVector(EndPath);
-  if (Start.numel() != End.numel() ||
-      Start.numel() != InputShape.numel()) {
-    std::fprintf(stderr,
-                 "genprove_cli: vector dims (%lld, %lld) do not match "
-                 "--input-shape %s\n",
-                 static_cast<long long>(Start.numel()),
-                 static_cast<long long>(End.numel()),
-                 InputShape.toString().c_str());
-    return 2;
+  std::vector<std::pair<Tensor, Tensor>> Segments;
+  for (size_t I = 0; I < StartPaths.size(); ++I) {
+    Tensor S = readVector(StartPaths[I]);
+    Tensor E = readVector(EndPaths[I]);
+    if (S.numel() != E.numel() || S.numel() != InputShape.numel()) {
+      std::fprintf(stderr,
+                   "genprove_cli: vector dims (%lld, %lld) of pair %zu do "
+                   "not match --input-shape %s\n",
+                   static_cast<long long>(S.numel()),
+                   static_cast<long long>(E.numel()), I,
+                   InputShape.toString().c_str());
+      return 2;
+    }
+    Segments.emplace_back(std::move(S), std::move(E));
   }
+  // The sharded paths certify exactly one segment (enforced above).
+  const Tensor &Start = Segments.front().first;
+  const Tensor &End = Segments.front().second;
   std::vector<OutputSpec> Specs;
   for (const std::string &Text : SpecTexts)
     Specs.push_back(parseSpec(Text));
@@ -879,81 +915,117 @@ int main(int Argc, char **Argv) {
   }
 
   //===--------------------------------------------------------------------===//
-  // Single-process path (unchanged semantics).
+  // Single-process path. One --start/--end pair keeps the original
+  // semantics exactly (propagateSegmentsBatch with one segment IS
+  // propagateSegment); several pairs flow through the network as one
+  // batched abstract state and are split back per pair, bit-identical to
+  // running each pair alone (docs/PERFORMANCE.md).
   //===--------------------------------------------------------------------===//
 
-  // The expensive propagation happens once; every --spec endpoint is then
-  // bounded against the shared state concurrently. boundsFor only reads
-  // the state, and results land in per-spec slots, so the printed order
-  // (and every digit) matches the serial run.
+  // The expensive propagation happens once per batch; every (pair, spec)
+  // endpoint is then bounded against its shared state concurrently.
+  // boundsFor only reads the state, and results land in per-slot
+  // positions, so the printed order (and every digit) matches the serial
+  // run.
   const GenProve Analyzer(Config);
-  PropagatedState State;
+  std::vector<PropagatedState> States;
   {
     GENPROVE_SPAN("analyze");
-    State = Analyzer.propagateSegment(Pipeline, InputShape, Start, End);
+    States = Analyzer.propagateSegmentsBatch(Pipeline, InputShape, Segments);
   }
-  const int64_t NumSpecs = static_cast<int64_t>(Specs.size());
-  std::vector<ProbBounds> AllBounds(Specs.size());
+  const size_t NumPairs = States.size();
+  const size_t NumSpecs = Specs.size();
+  std::vector<ProbBounds> AllBounds(NumPairs * NumSpecs);
   {
     GENPROVE_SPAN("bound_specs");
-    parallelFor(NumSpecs, 1, [&](int64_t Begin, int64_t End_) {
-      for (int64_t I = Begin; I < End_; ++I)
-        AllBounds[static_cast<size_t>(I)] =
-            Analyzer.boundsFor(State, Specs[static_cast<size_t>(I)]);
+    parallelFor(static_cast<int64_t>(AllBounds.size()), 1,
+                [&](int64_t Begin, int64_t End_) {
+      for (int64_t I = Begin; I < End_; ++I) {
+        const size_t Pair = static_cast<size_t>(I) / NumSpecs;
+        const size_t SpecIdx = static_cast<size_t>(I) % NumSpecs;
+        if (!States[Pair].OutOfMemory)
+          AllBounds[static_cast<size_t>(I)] =
+              Analyzer.boundsFor(States[Pair], Specs[SpecIdx]);
+      }
     });
   }
 
   // The observability artifacts are flushed by FlushOnExit on every exit
   // path — including the OOM return below; a failing run is exactly when
-  // the per-layer timeline matters.
-  if (Report && !State.Stats.Layers.empty())
-    printLayerReport(State.Stats.Layers);
+  // the per-layer timeline matters. On a batched run the layer timeline
+  // describes the shared propagation, so one table covers every pair.
+  if (Report && !States.front().Stats.Layers.empty())
+    printLayerReport(States.front().Stats.Layers);
 
-  if (State.OutOfMemory) {
-    std::printf("result: OUT OF MEMORY (budget %s; try --p, --schedule or "
-                "--splits)\n",
-                formatBytes(Config.MemoryBudgetBytes).c_str());
-    return 3;
-  }
-  bool Degraded = State.Degraded;
-  for (size_t I = 0; I < Specs.size(); ++I) {
-    const ProbBounds &Bounds = AllBounds[I];
-    Degraded = Degraded || Bounds.Degraded;
-    // With several endpoints, prefix each block with its spec text.
-    if (Specs.size() > 1)
-      std::printf("spec:    %s\n", SpecTexts[I].c_str());
-    std::printf("bounds:  [%.6f, %.6f]  width %s\n", Bounds.Lower,
-                Bounds.Upper, formatBound(Bounds.width()).c_str());
-    if (Config.Mode == AnalysisMode::Deterministic) {
-      const char *Verdict = Bounds.Lower >= 1.0   ? "HOLDS"
-                            : Bounds.Upper <= 0.0 ? "NEVER HOLDS"
-                                                  : "UNKNOWN";
-      std::printf("verdict: %s%s\n", Verdict,
-                  Bounds.Degraded || State.Degraded ? " (DEGRADED)" : "");
-    } else if (Bounds.Degraded || State.Degraded) {
-      std::printf("verdict: DEGRADED; holds with probability in "
-                  "[%.6f, %.6f]\n",
-                  Bounds.Lower, Bounds.Upper);
-    } else {
-      std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
-                  Bounds.Lower, Bounds.Upper);
+  bool AnyOom = false;
+  bool Degraded = false;
+  for (size_t Pair = 0; Pair < NumPairs; ++Pair) {
+    const PropagatedState &State = States[Pair];
+    // With several pairs, prefix each block with its segment endpoints.
+    if (NumPairs > 1)
+      std::printf("segment: %s -> %s\n", StartPaths[Pair].c_str(),
+                  EndPaths[Pair].c_str());
+    if (State.OutOfMemory) {
+      std::printf("result: OUT OF MEMORY (budget %s; try --p, --schedule "
+                  "or --splits)\n",
+                  formatBytes(Config.MemoryBudgetBytes).c_str());
+      if (NumPairs == 1)
+        return 3; // single-pair output contract: no stats line after OOM
+      AnyOom = true;
+      continue;
     }
+    Degraded = Degraded || State.Degraded;
+    for (size_t I = 0; I < NumSpecs; ++I) {
+      const ProbBounds &Bounds = AllBounds[Pair * NumSpecs + I];
+      Degraded = Degraded || Bounds.Degraded;
+      // With several endpoints, prefix each block with its spec text.
+      if (NumSpecs > 1)
+        std::printf("spec:    %s\n", SpecTexts[I].c_str());
+      std::printf("bounds:  [%.6f, %.6f]  width %s\n", Bounds.Lower,
+                  Bounds.Upper, formatBound(Bounds.width()).c_str());
+      if (Config.Mode == AnalysisMode::Deterministic) {
+        const char *Verdict = Bounds.Lower >= 1.0   ? "HOLDS"
+                              : Bounds.Upper <= 0.0 ? "NEVER HOLDS"
+                                                    : "UNKNOWN";
+        std::printf("verdict: %s%s\n", Verdict,
+                    Bounds.Degraded || State.Degraded ? " (DEGRADED)" : "");
+      } else if (Bounds.Degraded || State.Degraded) {
+        std::printf("verdict: DEGRADED; holds with probability in "
+                    "[%.6f, %.6f]\n",
+                    Bounds.Lower, Bounds.Upper);
+      } else {
+        std::printf("verdict: holds with probability in [%.6f, %.6f]\n",
+                    Bounds.Lower, Bounds.Upper);
+      }
+    }
+  }
+  // On the batched path every state's telemetry describes the shared run,
+  // so Seconds comes from one state and the peaks are maxed — identical
+  // numbers for one pair, a joint summary for several.
+  int64_t MaxRegions = 0, MaxNodes = 0, Retries = 0;
+  size_t PeakBytes = 0;
+  for (const PropagatedState &State : States) {
+    MaxRegions = std::max(MaxRegions, State.Stats.MaxRegions);
+    MaxNodes = std::max(MaxNodes, State.Stats.MaxNodes);
+    PeakBytes = std::max(PeakBytes, State.PeakBytes);
+    Retries = std::max(Retries, State.Retries);
   }
   std::printf("stats:   %.2fs, %lld regions peak, %lld nodes peak, %s "
               "device memory, %lld retries\n",
-              State.Seconds,
-              static_cast<long long>(State.Stats.MaxRegions),
-              static_cast<long long>(State.Stats.MaxNodes),
-              formatBytes(State.PeakBytes).c_str(),
-              static_cast<long long>(State.Retries));
+              States.front().Seconds, static_cast<long long>(MaxRegions),
+              static_cast<long long>(MaxNodes),
+              formatBytes(PeakBytes).c_str(),
+              static_cast<long long>(Retries));
+  if (AnyOom)
+    return 3;
   if (Degraded) {
+    const PropagateStats &Stats = States.front().Stats;
     std::printf("degrade: rung %s, %lld rollbacks, %lld fallback-box layers, "
                 "deadline %s, quarantined mass %.6f\n",
-                degradeRungName(State.Stats.Rung),
-                static_cast<long long>(State.Stats.Rollbacks),
-                static_cast<long long>(State.Stats.FallbackBoxLayers),
-                State.Stats.DeadlineHit ? "hit" : "met",
-                State.Stats.QuarantinedMass);
+                degradeRungName(Stats.Rung),
+                static_cast<long long>(Stats.Rollbacks),
+                static_cast<long long>(Stats.FallbackBoxLayers),
+                Stats.DeadlineHit ? "hit" : "met", Stats.QuarantinedMass);
     return 4; // sound but degraded — distinct from success and from OOM.
   }
   return 0;

@@ -70,6 +70,16 @@ namespace {
       "                       disconnect\n"
       "  --max-retries N      overload retries per request (default 5)\n"
       "  --expect-contain P   fail unless every sound bound contains P\n"
+      "  --repeat-mix N       draw each request's segment from a pool of N\n"
+      "                       distinct variants with a Zipf-ish rank\n"
+      "                       distribution (rank r weighted 1/(r+1)), so\n"
+      "                       hot segments repeat — the traffic shape the\n"
+      "                       daemon's propagation cache and request\n"
+      "                       coalescing amortize (docs/SERVING.md).\n"
+      "                       0 (default) sends the one legacy segment\n"
+      "  --require-cache-hits fail unless the daemon's /stats reports a\n"
+      "                       nonzero propagation-cache hit count after\n"
+      "                       the run\n"
       "  --seed S             RNG seed (default 7)\n"
       "  --out PATH           JSON results file (default BENCH_serve.json)\n");
   std::exit(2);
@@ -210,12 +220,38 @@ struct GenOptions {
   int64_t MaxRetries = 5;
   bool HaveExpect = false;
   double ExpectContain = 0.0;
+  int64_t RepeatMix = 0;
+  bool RequireCacheHits = false;
   uint64_t Seed = 7;
   std::string OutPath = "BENCH_serve.json";
 };
 
+/// Zipf-ish variant pick: rank r in [0, N) weighted 1/(r+1), so variant 0
+/// is the hot segment and the tail thins out harmonically.
+int64_t pickVariant(int64_t N, std::mt19937_64 &Rng) {
+  if (N <= 1)
+    return 0;
+  double Total = 0.0;
+  for (int64_t R = 0; R < N; ++R)
+    Total += 1.0 / static_cast<double>(R + 1);
+  std::uniform_real_distribution<double> Uniform(0.0, Total);
+  double U = Uniform(Rng);
+  for (int64_t R = 0; R < N; ++R) {
+    U -= 1.0 / static_cast<double>(R + 1);
+    if (U <= 0.0)
+      return R;
+  }
+  return N - 1;
+}
+
 std::string buildVerifyLine(const GenOptions &Opt, const std::string &Id,
-                            double DeadlineMs, const std::string &Inject) {
+                            double DeadlineMs, const std::string &Inject,
+                            int64_t Variant = 0) {
+  // Variant 0 reproduces the legacy segment exactly; other variants
+  // shift both endpoints by a small per-variant delta, so a --repeat-mix
+  // pool is N genuinely distinct queries (distinct cache keys) while
+  // staying inside the same latent neighborhood.
+  const double Delta = 0.003 * static_cast<double>(Variant);
   JsonWriter W;
   W.beginObject();
   W.key("type").value("verify");
@@ -224,11 +260,11 @@ std::string buildVerifyLine(const GenOptions &Opt, const std::string &Id,
   W.key("input_shape").value("1x" + std::to_string(Opt.Dims));
   W.key("start").beginArray();
   for (int64_t J = 0; J < Opt.Dims; ++J)
-    W.value(-0.5 + 0.01 * static_cast<double>(J % 7));
+    W.value(-0.5 + 0.01 * static_cast<double>(J % 7) + Delta);
   W.endArray();
   W.key("end").beginArray();
   for (int64_t J = 0; J < Opt.Dims; ++J)
-    W.value(0.5 - 0.01 * static_cast<double>(J % 5));
+    W.value(0.5 - 0.01 * static_cast<double>(J % 5) + Delta);
   W.endArray();
   W.key("specs").beginArray();
   for (const std::string &S : Opt.Specs)
@@ -302,11 +338,19 @@ void clientMain(const GenOptions &Opt, int64_t ClientId, Tally &T) {
     const int64_t Index = ClientId * Opt.Requests + R;
     const double DeadlineMs = deadlineForIndex(Index, Opt.DeadlineMs);
     std::string Inject;
-    if (Opt.InjectEvery > 0 && Index % Opt.InjectEvery == 0)
+    // Inject at phase K-1, not phase 0: the deadline mix above has
+    // period 5 with the no-deadline (coalesce/cache-eligible) band at
+    // phase 0, so a phase-0 injection with K a multiple of 5 would
+    // fault every cache-eligible request onto the supervised path and
+    // --require-cache-hits could never pass alongside --inject-every.
+    if (Opt.InjectEvery > 0 &&
+        Index % Opt.InjectEvery == Opt.InjectEvery - 1)
       Inject = InjectCycle[(Index / Opt.InjectEvery) % 4];
     const std::string Id =
         "c" + std::to_string(ClientId) + "-" + std::to_string(R);
-    const std::string Line = buildVerifyLine(Opt, Id, DeadlineMs, Inject);
+    const int64_t Variant = pickVariant(Opt.RepeatMix, Rng);
+    const std::string Line =
+        buildVerifyLine(Opt, Id, DeadlineMs, Inject, Variant);
 
     const double T0 = nowSeconds();
     bool Answered = false;
@@ -450,7 +494,11 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--expect-contain") {
       Opt.HaveExpect = true;
       Opt.ExpectContain = std::stod(NextArg(I));
-    } else if (Arg == "--seed")
+    } else if (Arg == "--repeat-mix")
+      Opt.RepeatMix = std::stoll(NextArg(I));
+    else if (Arg == "--require-cache-hits")
+      Opt.RequireCacheHits = true;
+    else if (Arg == "--seed")
       Opt.Seed = std::stoull(NextArg(I));
     else if (Arg == "--out")
       Opt.OutPath = NextArg(I);
@@ -472,6 +520,31 @@ int main(int Argc, char **Argv) {
     Th.join();
   const double Seconds = nowSeconds() - Start;
 
+  // One stats probe after the fleet finishes: the daemon's cumulative
+  // propagation-cache and coalescing counters land in the results file
+  // next to the client-side latencies.
+  int64_t CacheHits = 0, CacheMisses = 0, CoalesceBatches = 0,
+          CoalesceRequests = 0;
+  {
+    LineClient Stats(Opt.Socket);
+    std::string Reply;
+    if (Stats.connect() && Stats.sendLine("{\"type\":\"stats\"}") &&
+        Stats.readLine(Reply, 10.0)) {
+      JsonValue V;
+      std::string Err;
+      if (parseJson(Reply, V, &Err) && V.K == JsonValue::Kind::Object) {
+        auto Int = [&](const char *Key) {
+          const JsonValue *F = V.find(Key);
+          return F ? F->intOr(0) : 0;
+        };
+        CacheHits = Int("cache_hits");
+        CacheMisses = Int("cache_misses");
+        CoalesceBatches = Int("coalesce_batches");
+        CoalesceRequests = Int("coalesce_requests");
+      }
+    }
+  }
+
   const double P50 = percentile(T.LatenciesMs, 0.50);
   const double P90 = percentile(T.LatenciesMs, 0.90);
   const double P99 = percentile(T.LatenciesMs, 0.99);
@@ -492,6 +565,11 @@ int main(int Argc, char **Argv) {
   W.key("injected_faults").value(T.Injected);
   W.key("wire_faults_sent").value(T.WireFaultsSent);
   W.key("soundness_violations").value(T.SoundnessViolations);
+  W.key("repeat_mix").value(Opt.RepeatMix);
+  W.key("cache_hits").value(CacheHits);
+  W.key("cache_misses").value(CacheMisses);
+  W.key("coalesce_batches").value(CoalesceBatches);
+  W.key("coalesce_requests").value(CoalesceRequests);
   W.key("latency_ms").beginObject();
   W.key("p50").value(P50);
   W.key("p90").value(P90);
@@ -512,6 +590,17 @@ int main(int Argc, char **Argv) {
                  "%lld unsound bounds\n",
                  static_cast<long long>(T.Unanswered),
                  static_cast<long long>(T.SoundnessViolations));
+    return 1;
+  }
+  // The amortization contract (CI smoke): repeated-segment traffic must
+  // actually hit the daemon's propagation cache.
+  if (Opt.RequireCacheHits && CacheHits <= 0) {
+    std::fprintf(stderr,
+                 "genprove_loadgen: CONTRACT VIOLATION — --require-cache-"
+                 "hits but the daemon reported %lld cache hits "
+                 "(%lld misses)\n",
+                 static_cast<long long>(CacheHits),
+                 static_cast<long long>(CacheMisses));
     return 1;
   }
   return 0;

@@ -21,6 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "src/domains/prop_cache.h"
 #include "src/nn/serialize.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -96,6 +97,18 @@ namespace {
       "                        response for T ms (default 5000)\n"
       "  --allow-inject        honor the request \"inject\" field (CI\n"
       "                        fault smoke only)\n"
+      "\n"
+      "cross-request amortization (docs/SERVING.md):\n"
+      "  --coalesce-window-ms T  hold the first compatible verify request\n"
+      "                        up to T ms for companions, then answer the\n"
+      "                        whole batch from one batched propagation\n"
+      "                        (bit-exact per request; default 0 = off;\n"
+      "                        ignored with --isolate)\n"
+      "  --coalesce-max-batch N  most requests per batch (default 8)\n"
+      "  --cache-mb N          propagation-cache budget: memoize per-layer\n"
+      "                        abstract states so repeated/prefix-shared\n"
+      "                        requests warm-start mid-network (default 0\n"
+      "                        = off)\n"
       "\n"
       "lifecycle and observability:\n"
       "  --drain-deadline-ms T SIGTERM waits T ms for in-flight requests\n"
@@ -327,6 +340,13 @@ int main(int Argc, char **Argv) {
       Cfg.WriteTimeoutSeconds = std::stod(NextArg(I)) / 1000.0;
     } else if (Arg == "--drain-deadline-ms") {
       Cfg.DrainDeadlineSeconds = std::stod(NextArg(I)) / 1000.0;
+    } else if (Arg == "--coalesce-window-ms") {
+      Cfg.CoalesceWindowSeconds = std::stod(NextArg(I)) / 1000.0;
+    } else if (Arg == "--coalesce-max-batch") {
+      Cfg.CoalesceMaxBatch = std::stoll(NextArg(I));
+    } else if (Arg == "--cache-mb") {
+      PropagationCache::global().configure(
+          static_cast<size_t>(std::stoull(NextArg(I))) << 20);
     } else if (Arg == "--allow-inject") {
       Cfg.AllowInject = true;
     } else if (Arg == "--sound") {
