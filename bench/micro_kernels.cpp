@@ -24,6 +24,15 @@
 //   micro_kernels --benchmark_filter='BM_Propagate(PerSpec|Batched)|BM_CacheWarmStart' \
 //                 --benchmark_out=BENCH_batch.json --benchmark_out_format=json
 //
+// BM_PropagateLayerPair / BM_FusedChain / BM_TwoTier measure the fused
+// affine->ReLU kernel chains and the two-tier screened fast path; CI's
+// fused-kernel-smoke job records them into BENCH_kernels.json and gates
+// BM_FusedChain >= 1.3x over BM_PropagateLayerPair at threads=1 (min
+// cpu_time over the repetitions):
+//   micro_kernels --benchmark_filter='BM_PropagateLayerPair|BM_FusedChain|BM_TwoTier' \
+//                 --benchmark_repetitions=3 \
+//                 --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/core/genprove.h"
@@ -34,6 +43,7 @@
 #include "src/obs/metrics.h"
 #include "src/parallel/thread_pool.h"
 #include "src/tensor/ops.h"
+#include "src/util/fp.h"
 #include "src/util/rng.h"
 
 #include <benchmark/benchmark.h>
@@ -453,6 +463,96 @@ void BM_CacheWarmStart(benchmark::State &State) {
   PropagationCache::global().configure(0);
 }
 BENCHMARK(BM_CacheWarmStart)->ArgName("warm")->Arg(0)->Arg(1);
+
+//===----------------------------------------------------------------------===//
+// Fused affine->ReLU chains and the two-tier screen (docs/PERFORMANCE.md).
+// BM_PropagateLayerPair is the unfused baseline: each Linear->ReLU pair
+// round-trips the abstract state through memory (node GEMM + center GEMM +
+// radius |W| GEMM, then a separate rectification pass). BM_FusedChain runs
+// the same pipeline with Config.FuseRelu: the box planes stream through
+// fusedBoxAffineTransB (one sweep of W instead of two) and the ReLU is
+// applied while the rows are cache-hot. Bounds are bit-identical; the
+// wall-clock ratio is the fusion win CI asserts (>= 1.3x at threads=1)
+// from BENCH_kernels.json.
+//===----------------------------------------------------------------------===//
+
+Sequential deepPairChain(Rng &R) {
+  Sequential Net;
+  const std::vector<int64_t> Dims{64, 512, 512, 512, 512, 10};
+  for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+    auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+    L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, 0.3);
+    L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.2);
+    Net.add(std::move(L));
+    if (I + 2 < Dims.size())
+      Net.add(std::make_unique<ReLU>());
+  }
+  return Net;
+}
+
+void propagatePairChain(benchmark::State &State, bool Fuse) {
+  PoolScope Scope(State.range(0));
+  Rng R(11);
+  Sequential Net = deepPairChain(R);
+  const Tensor Start = Tensor::randn({1, 64}, R, 0.1);
+  Tensor End = Start.clone();
+  for (int64_t J = 0; J < 64; ++J)
+    End[J] += R.normal(0.0, 0.05);
+  GenProveConfig Config;
+  Config.FuseRelu = Fuse;
+  const GenProve Analyzer(Config);
+  for (auto _ : State) {
+    const PropagatedState Final =
+        Analyzer.propagateSegment(Net.view(), Shape({1, 64}), Start, End);
+    benchmark::DoNotOptimize(Final.Regions.size());
+  }
+}
+
+void BM_PropagateLayerPair(benchmark::State &State) {
+  propagatePairChain(State, false);
+}
+BENCHMARK(BM_PropagateLayerPair)->ArgName("threads")->Arg(1)->Arg(4);
+
+void BM_FusedChain(benchmark::State &State) { propagatePairChain(State, true); }
+BENCHMARK(BM_FusedChain)->ArgName("threads")->Arg(1)->Arg(4);
+
+/// The two-tier precision fast path on clearly-decidable traffic: the
+/// same analysis with the full sound double tier (screen:0) vs
+/// --fast-screen (screen:1), where the float32 screen proves every piece
+/// inside and the sound tier is never entered. Both runs report sound
+/// bounds; the ratio is the screening win on traffic whose specs hold
+/// with a margin (the common certification case).
+void BM_TwoTier(benchmark::State &State) {
+  const bool Screen = State.range(0) != 0;
+  SoundRoundingScope Sound(true);
+  Rng R(12);
+  Sequential Net;
+  const std::vector<int64_t> Dims{8, 96, 96, 10};
+  for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+    auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+    L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, 0.4);
+    L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.2);
+    Net.add(std::move(L));
+    if (I + 2 < Dims.size())
+      Net.add(std::make_unique<ReLU>());
+  }
+  const Tensor Start = Tensor::randn({1, 8}, R, 0.3);
+  const Tensor End = Tensor::randn({1, 8}, R, 0.3);
+  // A spec that holds with a wide margin over the whole output range:
+  // the screen certifies every piece, the full tier must still propagate.
+  Tensor Normal({1, 10});
+  Normal[0] = 1.0;
+  const OutputSpec Spec = OutputSpec::halfspace(Normal, 1e6);
+  GenProveConfig Config;
+  Config.FastScreen = Screen;
+  const GenProve Analyzer(Config);
+  for (auto _ : State) {
+    const AnalysisResult Result =
+        Analyzer.analyzeSegment(Net.view(), Shape({1, 8}), Start, End, Spec);
+    benchmark::DoNotOptimize(Result.Bounds.Lower);
+  }
+}
+BENCHMARK(BM_TwoTier)->ArgName("screen")->Arg(0)->Arg(1);
 
 void BM_RelaxHeuristic(benchmark::State &State) {
   const int64_t NumPieces = State.range(0);

@@ -43,7 +43,7 @@ std::vector<ConvexResult>
 analyzeBoxMulti(const std::vector<const Layer *> &Layers,
                 const Shape &InputShape, const Tensor &Start,
                 const Tensor &End, const std::vector<OutputSpec> &Specs,
-                DeviceMemoryModel &Memory) {
+                DeviceMemoryModel &Memory, bool Fuse) {
   Tensor Center, Radius;
   segmentBox(Start, End, Center, Radius);
   std::vector<Region> Init;
@@ -51,6 +51,7 @@ analyzeBoxMulti(const std::vector<const Layer *> &Layers,
 
   PropagateConfig Config;
   Config.EnableRelax = false;
+  Config.FuseRelu = Fuse;
   PropagateStats Stats;
   const std::vector<Region> Final =
       propagateRegions(Layers, InputShape, std::move(Init), Config, Memory,
@@ -79,7 +80,7 @@ analyzeBoxBatch(const std::vector<const Layer *> &Layers,
                 const Shape &InputShape,
                 const std::vector<std::pair<Tensor, Tensor>> &Segments,
                 const std::vector<OutputSpec> &Specs,
-                DeviceMemoryModel &Memory) {
+                DeviceMemoryModel &Memory, bool Fuse) {
   const size_t K = Segments.size();
   std::vector<std::vector<ConvexResult>> Out(K);
   if (K == 0)
@@ -100,6 +101,7 @@ analyzeBoxBatch(const std::vector<const Layer *> &Layers,
 
   PropagateConfig Config;
   Config.EnableRelax = false;
+  Config.FuseRelu = Fuse;
   PropagateStats Stats;
   std::vector<Region> Final =
       propagateRegions(Layers, InputShape, std::move(Init), Config, Memory,
@@ -110,7 +112,7 @@ analyzeBoxBatch(const std::vector<const Layer *> &Layers,
     // per-segment analyses so bounds match a caller-side loop.
     for (size_t I = 0; I < K; ++I)
       Out[I] = analyzeBoxMulti(Layers, InputShape, Segments[I].first,
-                               Segments[I].second, Specs, Memory);
+                               Segments[I].second, Specs, Memory, Fuse);
     return Out;
   }
 
@@ -138,8 +140,9 @@ analyzeBoxBatch(const std::vector<const Layer *> &Layers,
 ConvexResult analyzeBox(const std::vector<const Layer *> &Layers,
                         const Shape &InputShape, const Tensor &Start,
                         const Tensor &End, const OutputSpec &Spec,
-                        DeviceMemoryModel &Memory) {
-  return analyzeBoxMulti(Layers, InputShape, Start, End, {Spec}, Memory)
+                        DeviceMemoryModel &Memory, bool Fuse) {
+  return analyzeBoxMulti(Layers, InputShape, Start, End, {Spec}, Memory,
+                         Fuse)
       .front();
 }
 

@@ -196,8 +196,14 @@ void PropagationCache::store(uint64_t Key, const std::vector<Region> &State,
     return;
   auto It = Map.find(Key);
   if (It != Map.end()) {
-    touchLocked(It->second, Key);
-    return;
+    // Overwrite: release the resident entry's bytes and its LRU node
+    // before charging the replacement, then fall through to the normal
+    // admission path. Keeping the old accounting (or worse, charging the
+    // new entry on top of it) lets CurBytes drift past Budget, and a
+    // stale LRU node would later be erased against the new entry.
+    CurBytes -= It->second.Bytes;
+    Lru.erase(It->second.LruIt);
+    Map.erase(It);
   }
   const size_t B = entryBytes(State);
   if (B == 0 || B > Budget)

@@ -67,6 +67,28 @@ public:
     return Abs;
   }
 
+  /// W^T ([In, Out] from the layer's [Out, In] weight), memoized under the
+  /// same staleness contract as get(). The fused affine->ReLU kernels
+  /// consume the transposed layout: with W^T the output dimension is the
+  /// contiguous inner axis, so the per-output ascending-k accumulator
+  /// chains vectorize across outputs (the [Out, In] dot-product form
+  /// defeats the vectorizer under strict FP semantics).
+  const Tensor &getTrans(const Tensor &W) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    const uint64_t V = Version.load(std::memory_order_acquire);
+    if (TransVersion != V) {
+      const int64_t N = W.dim(0), K = W.dim(1);
+      Trans = Tensor({K, N});
+      const double *Wd = W.data();
+      double *Td = Trans.data();
+      for (int64_t I = 0; I < N; ++I)
+        for (int64_t J = 0; J < K; ++J)
+          Td[J * N + I] = Wd[I * K + J];
+      TransVersion = V;
+    }
+    return Trans;
+  }
+
   /// Memoized FNV-1a fingerprint over the bit patterns of the given
   /// parameter tensors, seeded with \p Seed (the layer's structural
   /// hash). Rebuilt only when the generation has advanced — the same
@@ -97,6 +119,8 @@ private:
   mutable std::mutex Mu;
   mutable Tensor Abs;
   mutable uint64_t BuiltVersion = 0;
+  mutable Tensor Trans;
+  mutable uint64_t TransVersion = 0;
   mutable uint64_t Fp = 0;
   mutable uint64_t FpVersion = 0;
   mutable uint64_t FpSeed = 0;

@@ -42,6 +42,9 @@ public:
   }
   const Tensor &weight() const { return Weight; }
   const Tensor &bias() const { return Bias; }
+  /// Memoized W^T for the fused affine->ReLU kernels (see
+  /// AbsWeightCache::getTrans for why they want the transposed layout).
+  const Tensor &transposedWeight() const { return AbsCache.getTrans(Weight); }
 
 private:
   int64_t InFeatures;

@@ -51,10 +51,18 @@ double quantileFromBuckets(const int64_t *Buckets, int NumBuckets,
       Hi = std::min(Hi, MaxSample);
     if (Lo > Hi)
       std::swap(Lo, Hi);
-    if (!std::isfinite(Lo))
-      Lo = std::isfinite(Hi) ? Hi : 0.0;
+    // The rank falls among non-finite samples (e.g. all mass in the +inf
+    // overflow bucket, or a -inf underflow): the honest quantile is the
+    // infinity itself. Fabricating a finite edge here would let
+    // run_report.json percentiles and merged worker snapshots disagree
+    // about the same histogram.
     if (!std::isfinite(Hi))
-      Hi = Lo;
+      return Hi;
+    // Mixed bucket whose lower clamp stayed at -inf (finite samples also
+    // landed here): collapse to the finite upper edge — the documented
+    // "bucket upper edge" answer.
+    if (!std::isfinite(Lo))
+      Lo = Hi;
     const double Frac = double(Rank - Before) / double(C);
     return Lo + (Hi - Lo) * Frac;
   }

@@ -275,9 +275,19 @@ private:
 /// Walks the cumulative counts to the bucket holding rank ceil(Q*Count)
 /// and interpolates linearly inside it, clamping the bucket bounds to
 /// the recorded [min, max] sample range so the estimate never leaves the
-/// observed data. Returns NaN for an empty histogram. Shared by the
-/// registry JSON snapshot, MetricsSnapshot percentiles and the bench
-/// run-report percentile block.
+/// observed data. Edge contract (pinned by tests; snapshot merges and
+/// run_report.json percentiles both route through this function so they
+/// cannot diverge):
+///   * Count <= 0 (empty histogram)          -> NaN
+///   * rank lands among non-finite samples
+///     (e.g. all mass in the +inf overflow
+///     bucket, or a recorded -inf)           -> that infinity, verbatim
+///   * mixed edge bucket whose clamped lower
+///     bound stays non-finite                -> the bucket's finite upper
+///                                              edge (no interpolation)
+///   * single occupied bucket with Lo == Hi  -> that value exactly
+///   * bucket totals short of Count (torn
+///     concurrent snapshot)                  -> max sample (NaN if none)
 double quantileFromBuckets(const int64_t *Buckets, int NumBuckets,
                            int64_t Count, double MinSample, double MaxSample,
                            double Q);

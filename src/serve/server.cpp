@@ -7,6 +7,7 @@
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/snapshot.h"
+#include "src/parallel/thread_pool.h"
 #include "src/shard/process_launcher.h"
 #include "src/shard/protocol.h"
 #include "src/util/io.h"
@@ -80,20 +81,6 @@ void countResponse(const std::string &Status) {
       .add(1);
 }
 
-/// Compatibility class of a verify request for coalescing: requests may
-/// share one batched propagation only when every knob the engine sees is
-/// identical (the admission budget too, since the leader acquires one
-/// ticket for the whole batch). Specs and determinism are per-member —
-/// bounds are evaluated per request on its own final state.
-std::string coalesceKeyFor(const ServeRequest &Req) {
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf), "|%s|%.17g|%.17g|%lld|%d|%lld",
-                Req.InputShape.c_str(), Req.RelaxPercent, Req.ClusterK,
-                static_cast<long long>(Req.NodeThreshold),
-                Req.Arcsine ? 1 : 0, static_cast<long long>(Req.BudgetMb));
-  return Req.Net + Buf;
-}
-
 /// Per-request worker spec file for --isolate (unlinked after the run).
 class WorkerSpecFile {
 public:
@@ -121,6 +108,39 @@ private:
 };
 
 } // namespace
+
+std::string coalesceKeyFor(const ServeRequest &Req) {
+  // Every knob the engine sees must be in the key, or two incompatible
+  // requests could share one joint state:
+  //   * net / input shape / p / k / threshold / arcsine — the propagation
+  //     configuration itself;
+  //   * budget_mb — the leader acquires ONE admission ticket whose slice
+  //     sizes the joint run's device budget;
+  //   * sound — the requested rounding mode (process-scoped today, but a
+  //     request that asked for sound bounds must never share a state with
+  //     one that did not);
+  //   * fuse / fast_screen — kernel-fusion and two-tier screening change
+  //     the propagation path (fused runs are bit-identical but use a
+  //     distinct cache salt; screened requests never coalesce at all, see
+  //     the gate in runVerify);
+  //   * the pool's thread count — bit-identity makes it result-neutral,
+  //     but keying on it keeps batches from straddling an operator's
+  //     mid-run setThreads() resize.
+  // Deterministic is deliberately absent: the collapse is applied
+  // per-member AFTER bounds are computed from the member's own final
+  // state (runCoalescedBatch), so it cannot couple members. Specs are
+  // per-member for the same reason. Resilience/QoS rung never varies
+  // here: coalescing requires DeadlineMs <= 0, and the batched engine
+  // runs without resilience by construction.
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf), "|%s|%.17g|%.17g|%lld|%d|%lld|%d|%d|%d|%lld",
+                Req.InputShape.c_str(), Req.RelaxPercent, Req.ClusterK,
+                static_cast<long long>(Req.NodeThreshold),
+                Req.Arcsine ? 1 : 0, static_cast<long long>(Req.BudgetMb),
+                Req.Sound ? 1 : 0, Req.Fuse ? 1 : 0, Req.FastScreen ? 1 : 0,
+                static_cast<long long>(ThreadPool::global().threads()));
+  return Req.Net + Buf;
+}
 
 Server::Server(ServeConfig Config, const ModelRegistry &Models)
     : Cfg(std::move(Config)), Registry(Models), Admission(Cfg.Admission) {}
@@ -201,9 +221,12 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
   // shed joint ticket, per-query abort) falls through to the supervised
   // path below with nothing lost but the window wait.
   //===------------------------------------------------------------------===//
+  // Fast-screen requests never coalesce: the screen is a per-segment
+  // classification whose borderline set depends on the request's own
+  // spec, so there is no shared joint state to amortize.
   if (Cfg.CoalesceWindowSeconds > 0.0 && Cfg.CoalesceMaxBatch > 1 &&
       !Cfg.Isolate && Req.Inject.empty() && Req.DeadlineMs <= 0.0 &&
-      !stopping()) {
+      !Req.FastScreen && !stopping()) {
     if (tryCoalesce(Req, Model, InShape, R)) {
       countResponse(R.Status);
       if (R.Status == "ok" || R.Status == "degraded") {
@@ -247,7 +270,8 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
   const bool HasDeadline = DeadlineSeconds > 0.0;
   const double Remaining =
       HasDeadline ? DeadlineSeconds - Ticket.queueSeconds() : 0.0;
-  const QosDecision Qos = qosDecisionFor(Remaining, HasDeadline, Cfg.Qos);
+  const QosDecision Qos =
+      qosDecisionFor(Remaining, HasDeadline, Cfg.Qos, Req.FastScreen);
   R.Rung = Qos.Rung;
 
   // Injected "slow": hold the admission slot before propagating, creating
@@ -275,6 +299,8 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
       Req.Arcsine ? ParamDistribution::Arcsine : ParamDistribution::Uniform;
   Conf.MemoryBudgetBytes = Ticket.budgetBytes();
   Conf.Resilience = Qos.Resilience;
+  Conf.FuseRelu = Req.Fuse;
+  Conf.FastScreen = Req.FastScreen;
 
   const double RunStart = nowSeconds();
   std::vector<ShardResult> Results;
@@ -321,6 +347,8 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
       Spec.NodeThreshold = Req.NodeThreshold;
       Spec.Arcsine = Req.Arcsine;
       Spec.Sound = Cfg.SoundMode;
+      Spec.Fuse = Req.Fuse;
+      Spec.FastScreen = Req.FastScreen;
       Spec.HeartbeatMs =
           std::clamp(Cfg.HeartbeatTimeoutSeconds * 250.0, 10.0, 250.0);
       if (Req.Inject != "slow")
@@ -363,7 +391,7 @@ ServeResponse Server::runVerify(const ServeRequest &Req) {
   int64_t FinalRung = static_cast<int64_t>(Qos.Rung);
   for (const ShardResult &Res : Results)
     FinalRung = std::max(FinalRung, Res.Rung);
-  R.Rung = static_cast<ShardRung>(std::clamp<int64_t>(FinalRung, 0, 2));
+  R.Rung = static_cast<ShardRung>(std::clamp<int64_t>(FinalRung, 0, 3));
 
   for (size_t I = 0; I < Ctx.Specs.size(); ++I) {
     ProbBounds Bounds = Merged.Specs[I];
@@ -523,6 +551,7 @@ void Server::runCoalescedBatch(
   Conf.Distribution =
       Lead.Arcsine ? ParamDistribution::Arcsine : ParamDistribution::Uniform;
   Conf.MemoryBudgetBytes = Ticket.budgetBytes();
+  Conf.FuseRelu = Lead.Fuse; // keyed, so uniform across the batch
   // No resilience: batching needs the abort-on-OOM engine (a resilient
   // run's degradations could couple queries). An aborted or degraded
   // member is declined back to the supervised path below.

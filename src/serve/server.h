@@ -45,6 +45,14 @@
 
 namespace genprove {
 
+/// Compatibility class of a verify request for coalescing: requests may
+/// share one batched propagation only when every result-affecting knob is
+/// identical (the admission budget too, since the leader acquires one
+/// ticket for the whole batch). Specs and determinism are per-member —
+/// bounds are evaluated per request on its own final state. Exposed for
+/// the differential tests; the definition documents each keyed knob.
+std::string coalesceKeyFor(const ServeRequest &Req);
+
 struct ServeConfig {
   std::string SocketPath; ///< Unix-domain socket the daemon listens on
   AdmissionController::Config Admission;

@@ -27,6 +27,8 @@ ShardRung rungForAttempt(int64_t Attempt) {
 
 const char *shardRungName(ShardRung R) {
   switch (R) {
+  case ShardRung::Screening:
+    return "screening";
   case ShardRung::Configured:
     return "configured";
   case ShardRung::Resilient:
@@ -449,9 +451,21 @@ ShardResult runShardAttempt(const ShardWorkContext &Ctx,
   // and the coordinator collapses after mergeShardResults.
   Cfg.Mode = AnalysisMode::Probabilistic;
   Cfg.InputSplits = 1;
-  if (Plan.Rung != ShardRung::Configured)
+  // Screening is not scheduled as a plan rung (rungForAttempt never
+  // returns it); normalize a defensive arrival to Configured and let the
+  // FastScreen config decide below.
+  ShardRung Rung = Plan.Rung == ShardRung::Screening ? ShardRung::Configured
+                                                     : Plan.Rung;
+  if (Rung != ShardRung::Configured)
     Cfg.Resilience.Enabled = true;
-  Cfg.Resilience.StartAtFullBox = Plan.Rung == ShardRung::IntervalBox;
+  Cfg.Resilience.StartAtFullBox = Rung == ShardRung::IntervalBox;
+  // The two-tier screen applies only to the first, un-escalated attempt:
+  // a retry or an escalated rung means the fast path already failed this
+  // request once, so it runs the full sound tier directly.
+  const bool Screen =
+      Cfg.FastScreen && Rung == ShardRung::Configured && !Ctx.Specs.empty();
+  if (!Screen)
+    Cfg.FastScreen = false;
 
   const std::vector<ShardRange> Ranges = planShards(Ctx.NumShards);
   const size_t Index =
@@ -461,6 +475,42 @@ ShardResult runShardAttempt(const ShardWorkContext &Ctx,
 
   const Tensor A = Ctx.Start.reshaped({1, Ctx.Start.numel()});
   const Tensor B = Ctx.End.reshaped({1, Ctx.End.numel()});
+
+  if (Screen) {
+    // Two-tier path: per spec, the float32 screen classifies the shard's
+    // parameter range piecewise and only borderline pieces re-run under
+    // the sound double tier (GenProve::analyzeSegmentScreened). Every
+    // reported bound comes from the sound tier; the screen only decides
+    // which pieces need it.
+    const GenProve GP(Cfg);
+    ShardResult Out;
+    Out.Shard = Plan.Shard;
+    Out.Attempt = Plan.Attempt;
+    Out.Rung = static_cast<int64_t>(ShardRung::Screening);
+    Out.Specs.reserve(Ctx.Specs.size());
+    for (const OutputSpec &Spec : Ctx.Specs) {
+      const AnalysisResult R = GP.analyzeSegmentScreened(
+          Ctx.Pipeline, Ctx.InputShape, A, B, Spec, Range.T0, Range.T1);
+      Out.Seconds += R.Seconds;
+      Out.PeakBytes = std::max(Out.PeakBytes,
+                               static_cast<int64_t>(R.PeakBytes));
+      Out.MaxRegions = std::max(Out.MaxRegions, R.MaxRegions);
+      Out.MaxNodes = std::max(Out.MaxNodes, R.MaxNodes);
+      Out.Retries += R.Retries;
+      Out.Rollbacks += R.Rollbacks;
+      Out.FallbackBoxLayers += R.FallbackBoxLayers;
+      Out.QuarantinedMass += R.QuarantinedMass;
+      Out.Degraded = Out.Degraded || R.Degraded;
+      Out.DeadlineHit = Out.DeadlineHit || R.DeadlineHit;
+      Out.OutOfMemory = Out.OutOfMemory || R.OutOfMemory;
+      ShardSpecBounds SB;
+      SB.Lower = R.Bounds.Lower;
+      SB.Upper = R.Bounds.Upper;
+      SB.Degraded = R.Bounds.Degraded;
+      Out.Specs.push_back(SB);
+    }
+    return Out;
+  }
   Tensor PartStart({1, A.numel()});
   Tensor PartEnd({1, A.numel()});
   for (int64_t J = 0; J < A.numel(); ++J) {
@@ -481,7 +531,7 @@ ShardResult runShardAttempt(const ShardWorkContext &Ctx,
   ShardResult Out;
   Out.Shard = Plan.Shard;
   Out.Attempt = Plan.Attempt;
-  Out.Rung = static_cast<int64_t>(Plan.Rung);
+  Out.Rung = static_cast<int64_t>(Rung);
   Out.Seconds = State.Seconds;
   Out.PeakBytes = static_cast<int64_t>(State.PeakBytes);
   Out.MaxRegions = State.Stats.MaxRegions;

@@ -1,0 +1,610 @@
+//===- tests/fused_screen_test.cpp - fusion + two-tier screen ---*- C++ -*-===//
+///
+/// \file
+/// The fused-kernel and two-tier-screen contracts (docs/PERFORMANCE.md):
+///
+///  * --fuse: every analysis path (engine, box, zonotope, deepzono,
+///    hybrid) must return bounds bit-identical to the unfused path — at
+///    any thread count, in both rounding modes. EXPECT_EQ on doubles, not
+///    a tolerance: the fused kernels keep the exact per-element
+///    ascending-k accumulation order of the unfused pair.
+///
+///  * --fast-screen: the float32 screen only *classifies* pieces; every
+///    reported bound comes from sound arithmetic (CDF masses for proven
+///    pieces, the sound double tier for borderline ones). The screened
+///    interval must therefore always be consistent with the full sound
+///    analysis, and a pipeline the screen cannot compile must collapse to
+///    all-borderline, never to a wrong certificate.
+///
+/// Plus regression pins for the satellite fixes riding along: the
+/// PropagationCache overwrite accounting, the quantileFromBuckets edge
+/// cases, and the serve coalescing compatibility key.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/genprove.h"
+#include "src/domains/box_domain.h"
+#include "src/domains/hybrid_zonotope.h"
+#include "src/domains/prop_cache.h"
+#include "src/domains/screen.h"
+#include "src/domains/zonotope.h"
+#include "src/nn/activations.h"
+#include "src/nn/conv.h"
+#include "src/nn/linear.h"
+#include "src/nn/reshape.h"
+#include "src/obs/metrics.h"
+#include "src/parallel/thread_pool.h"
+#include "src/serve/server.h"
+#include "src/util/fp.h"
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace genprove {
+namespace {
+
+Sequential makeRandomMlp(Rng &R, const std::vector<int64_t> &Dims,
+                         double Scale = 0.8) {
+  Sequential Net;
+  for (size_t I = 0; I + 1 < Dims.size(); ++I) {
+    auto L = std::make_unique<Linear>(Dims[I], Dims[I + 1]);
+    L->weight() = Tensor::randn({Dims[I + 1], Dims[I]}, R, Scale);
+    L->bias() = Tensor::randn({Dims[I + 1]}, R, 0.4);
+    Net.add(std::move(L));
+    if (I + 2 < Dims.size())
+      Net.add(std::make_unique<ReLU>());
+  }
+  return Net;
+}
+
+/// Pin the global pool for the test body, restore on scope exit.
+struct PoolScope {
+  explicit PoolScope(int64_t Threads) {
+    ThreadPool::global().setThreads(Threads);
+  }
+  ~PoolScope() { ThreadPool::global().setThreads(ThreadPool::envThreads()); }
+};
+
+// ---------------------------------------------------------------------------
+// Fused == unfused, bit for bit.
+// ---------------------------------------------------------------------------
+
+/// (threads, sound rounding) grid shared by the bit-identity tests.
+class FusedBitIdentity
+    : public ::testing::TestWithParam<std::tuple<int64_t, bool>> {};
+
+TEST_P(FusedBitIdentity, EngineBoundsMatchUnfused) {
+  const int64_t Threads = std::get<0>(GetParam());
+  const bool Sound = std::get<1>(GetParam());
+  PoolScope Pool(Threads);
+  SoundRoundingScope Rounding(Sound);
+
+  Rng R(61);
+  Sequential Net = makeRandomMlp(R, {4, 14, 10, 3});
+  const Tensor Start = Tensor::randn({1, 4}, R);
+  const Tensor End = Tensor::randn({1, 4}, R);
+  const std::vector<OutputSpec> Specs = {OutputSpec::argmaxWins(0, 3),
+                                         OutputSpec::argmaxWins(2, 3)};
+
+  GenProveConfig Plain;
+  GenProveConfig Fused;
+  Fused.FuseRelu = true;
+  const GenProve A(Plain), B(Fused);
+  const PropagatedState SA =
+      A.propagateSegment(Net.view(), Shape({1, 4}), Start, End);
+  const PropagatedState SB =
+      B.propagateSegment(Net.view(), Shape({1, 4}), Start, End);
+  ASSERT_FALSE(SA.OutOfMemory);
+  ASSERT_FALSE(SB.OutOfMemory);
+  for (const OutputSpec &Spec : Specs) {
+    const ProbBounds PA = A.boundsFor(SA, Spec);
+    const ProbBounds PB = B.boundsFor(SB, Spec);
+    EXPECT_EQ(PA.Lower, PB.Lower);
+    EXPECT_EQ(PA.Upper, PB.Upper);
+  }
+}
+
+TEST_P(FusedBitIdentity, BatchedEngineMatchesUnfused) {
+  const int64_t Threads = std::get<0>(GetParam());
+  const bool Sound = std::get<1>(GetParam());
+  PoolScope Pool(Threads);
+  SoundRoundingScope Rounding(Sound);
+
+  Rng R(67);
+  Sequential Net = makeRandomMlp(R, {3, 12, 8, 2});
+  std::vector<std::pair<Tensor, Tensor>> Segments;
+  for (int I = 0; I < 4; ++I)
+    Segments.emplace_back(Tensor::randn({1, 3}, R), Tensor::randn({1, 3}, R));
+  const OutputSpec Spec = OutputSpec::argmaxWins(0, 2);
+
+  GenProveConfig Plain;
+  GenProveConfig Fused;
+  Fused.FuseRelu = true;
+  const GenProve A(Plain), B(Fused);
+  const auto SA = A.propagateSegmentsBatch(Net.view(), Shape({1, 3}), Segments);
+  const auto SB = B.propagateSegmentsBatch(Net.view(), Shape({1, 3}), Segments);
+  ASSERT_EQ(SA.size(), SB.size());
+  for (size_t I = 0; I < SA.size(); ++I) {
+    EXPECT_EQ(A.boundsFor(SA[I], Spec).Lower, B.boundsFor(SB[I], Spec).Lower)
+        << "segment " << I;
+    EXPECT_EQ(A.boundsFor(SA[I], Spec).Upper, B.boundsFor(SB[I], Spec).Upper)
+        << "segment " << I;
+  }
+}
+
+TEST_P(FusedBitIdentity, ConvexDomainsMatchUnfused) {
+  const int64_t Threads = std::get<0>(GetParam());
+  const bool Sound = std::get<1>(GetParam());
+  PoolScope Pool(Threads);
+  SoundRoundingScope Rounding(Sound);
+
+  Rng R(71);
+  Sequential Net = makeRandomMlp(R, {3, 12, 8, 2});
+  const Tensor Start = Tensor::randn({1, 3}, R);
+  const Tensor End = Tensor::randn({1, 3}, R);
+  const std::vector<OutputSpec> Specs = {OutputSpec::argmaxWins(0, 2),
+                                         OutputSpec::argmaxWins(1, 2)};
+  const Shape In({1, 3});
+  DeviceMemoryModel Unlimited(0);
+
+  struct Domain {
+    const char *Name;
+    std::function<std::vector<ConvexResult>(bool)> Run;
+  };
+  const std::vector<Domain> Domains = {
+      {"box",
+       [&](bool Fuse) {
+         return analyzeBoxMulti(Net.view(), In, Start, End, Specs, Unlimited,
+                                Fuse);
+       }},
+      {"zonotope",
+       [&](bool Fuse) {
+         return analyzeZonotopeMulti(Net.view(), In, Start, End, Specs,
+                                     ZonotopeKind::Zonotope, Unlimited, Fuse);
+       }},
+      {"deepzono",
+       [&](bool Fuse) {
+         return analyzeZonotopeMulti(Net.view(), In, Start, End, Specs,
+                                     ZonotopeKind::DeepZono, Unlimited, Fuse);
+       }},
+      {"hybrid",
+       [&](bool Fuse) {
+         return analyzeHybridZonotopeMulti(Net.view(), In, Start, End, Specs,
+                                           Unlimited, Fuse);
+       }},
+  };
+
+  for (const Domain &D : Domains) {
+    const auto Plain = D.Run(false);
+    const auto Fused = D.Run(true);
+    ASSERT_EQ(Plain.size(), Fused.size()) << D.Name;
+    for (size_t J = 0; J < Plain.size(); ++J) {
+      EXPECT_EQ(Plain[J].Bounds.Lower, Fused[J].Bounds.Lower)
+          << D.Name << " spec " << J;
+      EXPECT_EQ(Plain[J].Bounds.Upper, Fused[J].Bounds.Upper)
+          << D.Name << " spec " << J;
+      EXPECT_EQ(Plain[J].Bounds.OutOfMemory, Fused[J].Bounds.OutOfMemory)
+          << D.Name;
+    }
+  }
+}
+
+/// Fused telemetry identity under a binding budget: the fused pair replays
+/// both layer boundaries' charges, so the OOM point (and the reported
+/// peak) cannot move across the flag.
+TEST_P(FusedBitIdentity, ZonotopeOomPointMatchesUnfused) {
+  const int64_t Threads = std::get<0>(GetParam());
+  const bool Sound = std::get<1>(GetParam());
+  PoolScope Pool(Threads);
+  SoundRoundingScope Rounding(Sound);
+
+  Rng R(73);
+  Sequential Net = makeRandomMlp(R, {3, 24, 24, 2});
+  const Tensor Start = Tensor::randn({1, 3}, R);
+  const Tensor End = Tensor::randn({1, 3}, R);
+  const OutputSpec Spec = OutputSpec::argmaxWins(0, 2);
+  const Shape In({1, 3});
+
+  // Probe the unlimited peak, then pin the budget just under it so the
+  // propagation fails partway through the pair chain.
+  DeviceMemoryModel Probe(0);
+  const ConvexResult Full = analyzeZonotope(Net.view(), In, Start, End, Spec,
+                                            ZonotopeKind::Zonotope, Probe);
+  ASSERT_FALSE(Full.Bounds.OutOfMemory);
+  ASSERT_GT(Full.PeakBytes, 0u);
+
+  DeviceMemoryModel TightA(Full.PeakBytes - 1);
+  DeviceMemoryModel TightB(Full.PeakBytes - 1);
+  const ConvexResult Plain = analyzeZonotope(
+      Net.view(), In, Start, End, Spec, ZonotopeKind::Zonotope, TightA, false);
+  const ConvexResult Fused = analyzeZonotope(
+      Net.view(), In, Start, End, Spec, ZonotopeKind::Zonotope, TightB, true);
+  EXPECT_EQ(Plain.Bounds.OutOfMemory, Fused.Bounds.OutOfMemory);
+  EXPECT_EQ(Plain.PeakBytes, Fused.PeakBytes);
+  EXPECT_EQ(Plain.Bounds.Lower, Fused.Bounds.Lower);
+  EXPECT_EQ(Plain.Bounds.Upper, Fused.Bounds.Upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndRounding, FusedBitIdentity,
+                         ::testing::Combine(::testing::Values<int64_t>(1, 4),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// The float32 screen: classification unit tests.
+// ---------------------------------------------------------------------------
+
+/// 1 -> 1 identity pipeline: the screen box is the (padded) segment hull,
+/// so the halfspace y > 0 classifies exactly as the sign of the segment.
+TEST(ScreenClassifyTest, InsideOutsideBorderlineOnIdentity) {
+  Sequential Net;
+  auto L = std::make_unique<Linear>(1, 1);
+  L->weight()[0] = 1.0;
+  L->bias()[0] = 0.0;
+  Net.add(std::move(L));
+  const ScreenPlan Plan = buildScreenPlan(Net.view());
+  ASSERT_TRUE(Plan.Supported);
+
+  Tensor Normal({1, 1});
+  Normal[0] = 1.0;
+  const OutputSpec Spec = OutputSpec::halfspace(Normal, 0.0);
+
+  Tensor A({1, 1}), B({1, 1});
+  A[0] = 1.0;
+  B[0] = 2.0;
+  EXPECT_EQ(screenClassify(Plan, A, B, Spec), ScreenVerdict::Inside);
+  A[0] = -2.0;
+  B[0] = -1.0;
+  EXPECT_EQ(screenClassify(Plan, A, B, Spec), ScreenVerdict::Outside);
+  A[0] = -1.0;
+  B[0] = 1.0;
+  EXPECT_EQ(screenClassify(Plan, A, B, Spec), ScreenVerdict::Borderline);
+}
+
+TEST(ScreenClassifyTest, ConvPipelineIsUnsupported) {
+  Sequential Net;
+  Net.add(std::make_unique<Conv2d>(1, 1, 3, 1, 1));
+  const ScreenPlan Plan = buildScreenPlan(Net.view());
+  EXPECT_FALSE(Plan.Supported);
+
+  Tensor Normal({1, 1});
+  Normal[0] = 1.0;
+  Tensor A({1, 1}), B({1, 1});
+  A[0] = 5.0;
+  B[0] = 6.0;
+  // Unsupported plans never certify anything.
+  EXPECT_EQ(screenClassify(Plan, A, B, OutputSpec::halfspace(Normal, 0.0)),
+            ScreenVerdict::Borderline);
+}
+
+/// The cushion is an over-approximation: a margin of the same order as
+/// float epsilon times the activation magnitude must NOT be certified
+/// (the screen can only claim what survives the cushion widening).
+TEST(ScreenClassifyTest, TinyMarginStaysBorderline) {
+  Sequential Net;
+  auto L = std::make_unique<Linear>(1, 1);
+  L->weight()[0] = 1.0;
+  L->bias()[0] = 0.0;
+  Net.add(std::move(L));
+  const ScreenPlan Plan = buildScreenPlan(Net.view());
+  ASSERT_TRUE(Plan.Supported);
+
+  Tensor Normal({1, 1});
+  Normal[0] = 1.0;
+  // y > 1e6 - eps-ish margin around activations of magnitude 1e6.
+  const OutputSpec Spec = OutputSpec::halfspace(Normal, -1e6 + 0.01);
+  Tensor A({1, 1}), B({1, 1});
+  A[0] = 1e6;
+  B[0] = 1e6 + 0.005;
+  EXPECT_EQ(screenClassify(Plan, A, B, Spec), ScreenVerdict::Borderline);
+}
+
+// ---------------------------------------------------------------------------
+// The two-tier screened analysis.
+// ---------------------------------------------------------------------------
+
+TEST(ScreenedAnalysisTest, BoundsConsistentWithFullSoundTier) {
+  SoundRoundingScope Sound(true);
+  Rng R(79);
+  Sequential Net = makeRandomMlp(R, {3, 12, 8, 2});
+  const Tensor Start = Tensor::randn({1, 3}, R);
+  const Tensor End = Tensor::randn({1, 3}, R);
+  const OutputSpec Spec = OutputSpec::argmaxWins(0, 2);
+
+  GenProveConfig Full;
+  GenProveConfig Screen;
+  Screen.FastScreen = true;
+  const AnalysisResult F =
+      GenProve(Full).analyzeSegment(Net.view(), Shape({1, 3}), Start, End,
+                                    Spec);
+  const AnalysisResult S =
+      GenProve(Screen).analyzeSegment(Net.view(), Shape({1, 3}), Start, End,
+                                      Spec);
+
+  EXPECT_FALSE(F.Screened);
+  EXPECT_TRUE(S.Screened);
+  EXPECT_EQ(S.ScreenedInside + S.ScreenedOutside + S.ScreenedBorderline,
+            Screen.ScreenSplits);
+
+  // Both intervals are sound, so both contain the true probability: they
+  // must intersect, and each must be a valid sub-interval of [0, 1].
+  EXPECT_GE(S.Bounds.Lower, 0.0);
+  EXPECT_LE(S.Bounds.Upper, 1.0);
+  EXPECT_LE(S.Bounds.Lower, S.Bounds.Upper);
+  EXPECT_LE(S.Bounds.Lower, F.Bounds.Upper);
+  EXPECT_LE(F.Bounds.Lower, S.Bounds.Upper);
+}
+
+/// A spec the whole segment trivially satisfies: the screen proves every
+/// piece inside, the sound tier never runs, and the lower bound is the
+/// (directed) total CDF mass — essentially 1.
+TEST(ScreenedAnalysisTest, AllInsideSkipsSoundTier) {
+  Rng R(83);
+  Sequential Net;
+  auto L = std::make_unique<Linear>(2, 2);
+  L->weight() = Tensor({2, 2});
+  L->weight()[0] = 1.0;
+  L->weight()[1] = 0.0;
+  L->weight()[2] = 0.0;
+  L->weight()[3] = 1.0;
+  L->bias() = Tensor({2});
+  L->bias()[0] = 10.0;
+  L->bias()[1] = 0.0;
+  Net.add(std::move(L));
+
+  const Tensor Start = Tensor::randn({1, 2}, R, 0.5);
+  const Tensor End = Tensor::randn({1, 2}, R, 0.5);
+  GenProveConfig Config;
+  Config.FastScreen = true;
+  const AnalysisResult S = GenProve(Config).analyzeSegment(
+      Net.view(), Shape({1, 2}), Start, End, OutputSpec::argmaxWins(0, 2));
+  EXPECT_TRUE(S.Screened);
+  EXPECT_EQ(S.ScreenedInside, Config.ScreenSplits);
+  EXPECT_EQ(S.ScreenedBorderline, 0);
+  EXPECT_GE(S.Bounds.Lower, 0.999);
+  EXPECT_EQ(S.Bounds.Upper, 1.0);
+  EXPECT_FALSE(S.Degraded);
+}
+
+TEST(ScreenedAnalysisTest, AllOutsideGivesNearZeroUpper) {
+  Rng R(89);
+  Sequential Net;
+  auto L = std::make_unique<Linear>(2, 2);
+  L->weight() = Tensor({2, 2});
+  L->weight()[0] = 1.0;
+  L->weight()[1] = 0.0;
+  L->weight()[2] = 0.0;
+  L->weight()[3] = 1.0;
+  L->bias() = Tensor({2});
+  L->bias()[0] = -10.0;
+  L->bias()[1] = 0.0;
+  Net.add(std::move(L));
+
+  const Tensor Start = Tensor::randn({1, 2}, R, 0.5);
+  const Tensor End = Tensor::randn({1, 2}, R, 0.5);
+  GenProveConfig Config;
+  Config.FastScreen = true;
+  const AnalysisResult S = GenProve(Config).analyzeSegment(
+      Net.view(), Shape({1, 2}), Start, End, OutputSpec::argmaxWins(0, 2));
+  EXPECT_TRUE(S.Screened);
+  EXPECT_EQ(S.ScreenedOutside, Config.ScreenSplits);
+  EXPECT_EQ(S.ScreenedBorderline, 0);
+  EXPECT_EQ(S.Bounds.Lower, 0.0);
+  EXPECT_LE(S.Bounds.Upper, 1e-3);
+}
+
+/// Unsupported pipeline (conv): every piece is borderline and the result
+/// still agrees with the full sound analysis.
+TEST(ScreenedAnalysisTest, UnsupportedPipelineCollapsesToBorderline) {
+  Rng R(97);
+  Sequential Net;
+  auto C = std::make_unique<Conv2d>(1, 2, 3, 1, 1);
+  C->weight() = Tensor::randn(C->weight().shape(), R, 0.4);
+  C->bias() = Tensor::randn(C->bias().shape(), R, 0.2);
+  Net.add(std::move(C));
+  Net.add(std::make_unique<ReLU>());
+  Net.add(std::make_unique<Flatten>());
+  auto L = std::make_unique<Linear>(2 * 4 * 4, 2);
+  L->weight() = Tensor::randn({2, 2 * 4 * 4}, R, 0.4);
+  L->bias() = Tensor::randn({2}, R, 0.2);
+  Net.add(std::move(L));
+
+  const Tensor Start = Tensor::randn({1, 16}, R, 0.5);
+  const Tensor End = Tensor::randn({1, 16}, R, 0.5);
+  const OutputSpec Spec = OutputSpec::argmaxWins(0, 2);
+  const Shape In({1, 1, 4, 4});
+
+  GenProveConfig Config;
+  Config.FastScreen = true;
+  Config.ScreenSplits = 8;
+  const AnalysisResult S =
+      GenProve(Config).analyzeSegment(Net.view(), In, Start, End, Spec);
+  EXPECT_TRUE(S.Screened);
+  EXPECT_EQ(S.ScreenedInside, 0);
+  EXPECT_EQ(S.ScreenedOutside, 0);
+  EXPECT_EQ(S.ScreenedBorderline, Config.ScreenSplits);
+
+  GenProveConfig Full;
+  const AnalysisResult F =
+      GenProve(Full).analyzeSegment(Net.view(), In, Start, End, Spec);
+  EXPECT_LE(S.Bounds.Lower, F.Bounds.Upper);
+  EXPECT_LE(F.Bounds.Lower, S.Bounds.Upper);
+  EXPECT_GE(S.Bounds.Lower, 0.0);
+  EXPECT_LE(S.Bounds.Upper, 1.0);
+}
+
+/// Monte-Carlo containment: the screened bounds must cover the empirical
+/// satisfaction fraction of dense concrete samples along the segment.
+TEST(ScreenedAnalysisTest, EmpiricalFractionWithinScreenedBounds) {
+  Rng R(101);
+  Sequential Net = makeRandomMlp(R, {3, 10, 8, 2});
+  const Tensor Start = Tensor::randn({1, 3}, R);
+  const Tensor End = Tensor::randn({1, 3}, R);
+  const OutputSpec Spec = OutputSpec::argmaxWins(0, 2);
+
+  GenProveConfig Config;
+  Config.FastScreen = true;
+  const AnalysisResult S = GenProve(Config).analyzeSegment(
+      Net.view(), Shape({1, 3}), Start, End, Spec);
+
+  const int64_t N = 2000;
+  Tensor Points({N, 3});
+  for (int64_t I = 0; I < N; ++I) {
+    const double T = double(I) / double(N - 1);
+    for (int64_t J = 0; J < 3; ++J)
+      Points.at(I, J) = Start[J] + T * (End[J] - Start[J]);
+  }
+  const Tensor Out = forwardConcretePoints(Net.view(), Shape({1, 3}), Points);
+  int64_t Sat = 0;
+  for (int64_t I = 0; I < N; ++I) {
+    bool Ok = true;
+    for (const auto &H : Spec.halfspaces()) {
+      double F = H.Offset;
+      for (int64_t J = 0; J < Out.dim(1); ++J)
+        F += H.Normal[J] * Out.at(I, J);
+      Ok = Ok && F > 0.0;
+    }
+    Sat += Ok ? 1 : 0;
+  }
+  const double Frac = double(Sat) / double(N);
+  // The sample is an estimate, so allow sampling slack at the edges.
+  EXPECT_GE(Frac, S.Bounds.Lower - 0.02);
+  EXPECT_LE(Frac, S.Bounds.Upper + 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression pins.
+// ---------------------------------------------------------------------------
+
+/// Overwriting a resident cache key must release the old entry's bytes
+/// (and LRU node) before charging the replacement: repeated stores of one
+/// key cannot drift CurBytes past the budget or strand stale accounting.
+TEST(PropCacheOverwriteTest, RepeatedStoreOfSameKeyKeepsBytesFlat) {
+  PropagationCache &C = PropagationCache::global();
+  C.configure(1u << 20);
+  Rng R(103);
+
+  std::vector<Region> Small;
+  Small.push_back(makeSegmentRegion(Tensor::randn({1, 4}, R),
+                                    Tensor::randn({1, 4}, R)));
+  std::vector<Region> Big;
+  Big.push_back(makeSegmentRegion(Tensor::randn({1, 64}, R),
+                                  Tensor::randn({1, 64}, R)));
+
+  C.store(0xfeedu, Small, Shape({1, 4}), 0);
+  const size_t AfterSmall = C.bytes();
+  ASSERT_GT(AfterSmall, 0u);
+  for (int I = 0; I < 10; ++I)
+    C.store(0xfeedu, Small, Shape({1, 4}), 0);
+  EXPECT_EQ(C.bytes(), AfterSmall) << "overwrite leaked accounting";
+
+  // Grow then shrink the same key: bytes must track the resident entry.
+  C.store(0xfeedu, Big, Shape({1, 64}), 0);
+  const size_t AfterBig = C.bytes();
+  EXPECT_GT(AfterBig, AfterSmall);
+  C.store(0xfeedu, Small, Shape({1, 4}), 0);
+  EXPECT_EQ(C.bytes(), AfterSmall);
+
+  EXPECT_LE(C.bytes(), C.budgetBytes());
+  C.configure(0);
+}
+
+TEST(QuantileFromBucketsTest, EdgeCases) {
+  const int NB = Histogram::NumBuckets;
+  std::vector<int64_t> Buckets(static_cast<size_t>(NB), 0);
+
+  // Empty histogram: no answer to give.
+  EXPECT_TRUE(std::isnan(
+      quantileFromBuckets(Buckets.data(), NB, 0, 1.0, 2.0, 0.5)));
+
+  // Torn concurrent snapshot (bucket totals short of Count): the largest
+  // observed sample, not a crash or a fabricated bucket edge.
+  EXPECT_EQ(quantileFromBuckets(Buckets.data(), NB, 10, 1.0, 7.0, 0.5), 7.0);
+  EXPECT_TRUE(std::isnan(quantileFromBuckets(
+      Buckets.data(), NB, 10, std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity(), 0.5)));
+
+  // All mass in the +inf overflow bucket with genuinely infinite samples:
+  // the honest quantile is the infinity itself.
+  Buckets.assign(static_cast<size_t>(NB), 0);
+  Buckets[static_cast<size_t>(NB - 1)] = 5;
+  EXPECT_TRUE(std::isinf(quantileFromBuckets(
+      Buckets.data(), NB, 5, std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity(), 0.5)));
+
+  // Finite samples whose mass sits in the underflow bucket (-inf, 0]:
+  // the sample-range clamp keeps the estimate finite and in-range.
+  Buckets.assign(static_cast<size_t>(NB), 0);
+  Buckets[0] = 4;
+  const double Q0 = quantileFromBuckets(Buckets.data(), NB, 4, -3.0, 0.0, 0.5);
+  EXPECT_TRUE(std::isfinite(Q0));
+  EXPECT_GE(Q0, -3.0);
+  EXPECT_LE(Q0, 0.0);
+
+  // Out-of-range Q clamps instead of indexing past the data, and the
+  // in-range answer stays within the observed sample range.
+  Buckets.assign(static_cast<size_t>(NB), 0);
+  Buckets[static_cast<size_t>(Histogram::bucketIndex(1.0))] += 1;
+  Buckets[static_cast<size_t>(Histogram::bucketIndex(2.0))] += 1;
+  Buckets[static_cast<size_t>(Histogram::bucketIndex(4.0))] += 1;
+  EXPECT_EQ(quantileFromBuckets(Buckets.data(), NB, 3, 1.0, 4.0, 2.0),
+            quantileFromBuckets(Buckets.data(), NB, 3, 1.0, 4.0, 1.0));
+  EXPECT_EQ(quantileFromBuckets(Buckets.data(), NB, 3, 1.0, 4.0, -1.0),
+            quantileFromBuckets(Buckets.data(), NB, 3, 1.0, 4.0, 0.0));
+  const double Med = quantileFromBuckets(Buckets.data(), NB, 3, 1.0, 4.0, 0.5);
+  EXPECT_GE(Med, 1.0);
+  EXPECT_LE(Med, 4.0);
+}
+
+/// Every result-affecting knob must split the serve coalescing key: two
+/// requests differing only in rounding mode, fusion, screening, budget or
+/// relaxation must never share one joint propagation.
+TEST(CoalesceKeyTest, ResultAffectingKnobsSplitTheKey) {
+  ServeRequest Base;
+  Base.Net = "zoo:mlp";
+  Base.InputShape = "1x4";
+  Base.RelaxPercent = 0.5;
+  Base.ClusterK = 100.0;
+  Base.NodeThreshold = 250;
+  Base.BudgetMb = 64;
+
+  const std::string K0 = coalesceKeyFor(Base);
+  EXPECT_EQ(coalesceKeyFor(Base), K0) << "key not deterministic";
+
+  ServeRequest R1 = Base;
+  R1.Sound = true;
+  EXPECT_NE(coalesceKeyFor(R1), K0) << "sound missing from key";
+
+  ServeRequest R2 = Base;
+  R2.Fuse = true;
+  EXPECT_NE(coalesceKeyFor(R2), K0) << "fuse missing from key";
+
+  ServeRequest R3 = Base;
+  R3.FastScreen = true;
+  EXPECT_NE(coalesceKeyFor(R3), K0) << "fast_screen missing from key";
+
+  ServeRequest R4 = Base;
+  R4.BudgetMb = 128;
+  EXPECT_NE(coalesceKeyFor(R4), K0) << "budget missing from key";
+
+  ServeRequest R5 = Base;
+  R5.RelaxPercent = 0.25;
+  EXPECT_NE(coalesceKeyFor(R5), K0) << "relaxation missing from key";
+
+  ServeRequest R6 = Base;
+  R6.Net = "zoo:other";
+  EXPECT_NE(coalesceKeyFor(R6), K0) << "net missing from key";
+
+  // Deterministic mode and specs are deliberately per-member (applied
+  // after the joint propagation), so they must NOT split the key.
+  ServeRequest R7 = Base;
+  R7.Deterministic = true;
+  EXPECT_EQ(coalesceKeyFor(R7), K0);
+}
+
+} // namespace
+} // namespace genprove

@@ -1,13 +1,19 @@
 //===- tools/genprove_mknet.cpp - tiny pipeline generator -------*- C++ -*-===//
 //
-// Write a small deterministic serialized pipeline plus start/end latent
+// Write two small deterministic serialized pipelines plus start/end latent
 // vectors, so genprove_cli can be exercised without training a model zoo.
-// Used by the CI smoke test and handy for local experiments:
+// Used by the CI smoke tests and handy for local experiments:
 //
 //   genprove_mknet OUTDIR
 //   genprove_cli --net OUTDIR/tiny_net.bin --input-shape 1x4
 //                --start OUTDIR/start.txt --end OUTDIR/end.txt
 //                --spec argmax:0:3 --report --trace-out t.json
+//
+// tiny_net.bin is the quickstart 4 -> 16 -> 16 -> 3 MLP; deep_net.bin is a
+// deeper 6 -> 32 -> 32 -> 32 -> 4 chain (start/end in deep_start.txt /
+// deep_end.txt, input shape 1x6) with three affine->ReLU pairs, so the
+// fused-kernel CI differential exercises fusion on more than one pair per
+// forward pass.
 //
 // Exit codes: 0 ok, 2 usage or I/O error.
 //
@@ -71,8 +77,40 @@ int main(int Argc, char **Argv) {
                  OutDir.c_str());
     return 2;
   }
+
+  // The deeper smoke network: 6 -> 32 -> 32 -> 32 -> 4, three
+  // affine->ReLU pairs for the fused-kernel differential.
+  Rng DeepR(2022);
+  Sequential Deep;
+  Deep.add(std::make_unique<Linear>(6, 32));
+  Deep.add(std::make_unique<ReLU>());
+  Deep.add(std::make_unique<Linear>(32, 32));
+  Deep.add(std::make_unique<ReLU>());
+  Deep.add(std::make_unique<Linear>(32, 32));
+  Deep.add(std::make_unique<ReLU>());
+  Deep.add(std::make_unique<Linear>(32, 4));
+  kaimingInit(Deep, DeepR);
+
+  const Tensor D1 = Tensor::randn({1, 6}, DeepR);
+  const Tensor D2 = Tensor::randn({1, 6}, DeepR);
+
+  const std::string DeepPath = OutDir + "/deep_net.bin";
+  if (!saveNetwork(Deep, DeepPath)) {
+    std::fprintf(stderr, "genprove_mknet: cannot write %s\n",
+                 DeepPath.c_str());
+    return 2;
+  }
+  if (!writeVector(OutDir + "/deep_start.txt", D1) ||
+      !writeVector(OutDir + "/deep_end.txt", D2)) {
+    std::fprintf(stderr, "genprove_mknet: cannot write vectors under %s\n",
+                 OutDir.c_str());
+    return 2;
+  }
   std::printf("wrote %s, %s/start.txt, %s/end.txt (input shape 1x4, 3 "
               "outputs)\n",
               NetPath.c_str(), OutDir.c_str(), OutDir.c_str());
+  std::printf("wrote %s, %s/deep_start.txt, %s/deep_end.txt (input shape "
+              "1x6, 4 outputs)\n",
+              DeepPath.c_str(), OutDir.c_str(), OutDir.c_str());
   return 0;
 }
